@@ -1,0 +1,338 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+One module per paper table/figure lives next to this file; each uses
+the helpers here to (a) build the benchmark stores at reproducible
+scales, (b) get per-engine calibrated cost models, and (c) run
+(query × strategy × engine) measurements with timeouts and the paper's
+missing-bar semantics for engine failures.
+
+Scales are configurable through environment variables so the same
+harness covers quick CI runs and long reproduction runs:
+
+=======================  =======  ===========================================
+variable                 default  meaning
+=======================  =======  ===========================================
+``REPRO_LUBM_SMALL``     12       universities in the "LUBM 1M"-role dataset
+``REPRO_LUBM_LARGE``     48       universities in the "LUBM 100M"-role dataset
+``REPRO_DBLP_PUBS``      12000    publications in the DBLP-role dataset
+``REPRO_BENCH_TIMEOUT``  60       per-evaluation timeout (seconds)
+=======================  =======  ===========================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.answering import QueryAnswerer
+from repro.cost import CostConstants, CostModel, calibrate
+from repro.datasets import (
+    build_dblp_database,
+    build_lubm_database,
+    dblp_workload,
+    lubm_workload,
+    motivating_q1,
+    motivating_q2,
+)
+from repro.engine import (
+    EngineFailure,
+    NATIVE_HASH,
+    NATIVE_MERGE,
+    NativeEngine,
+    SQLiteEngine,
+)
+from repro.reformulation import Reformulator
+
+LUBM_SMALL_UNIVERSITIES = int(os.environ.get("REPRO_LUBM_SMALL", "12"))
+LUBM_LARGE_UNIVERSITIES = int(os.environ.get("REPRO_LUBM_LARGE", "48"))
+DBLP_PUBLICATIONS = int(os.environ.get("REPRO_DBLP_PUBS", "12000"))
+EVAL_TIMEOUT_S = float(os.environ.get("REPRO_BENCH_TIMEOUT", "60"))
+
+#: The three engine personalities of the study (the paper's "three
+#: well-established RDBMSs" role).
+ENGINE_NAMES = ("native-hash", "native-merge", "sqlite")
+
+#: Statement-size limits per engine, mirrored into the cost models.
+_ENGINE_LIMITS = {"native-hash": 20_000, "native-merge": 2_000, "sqlite": 500}
+
+_CALIBRATION_DIR = Path(__file__).parent / ".calibration"
+
+
+# ----------------------------------------------------------------------
+# Databases
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def lubm_small():
+    """The small-scale LUBM-role store."""
+    return build_lubm_database(universities=LUBM_SMALL_UNIVERSITIES, seed=0)
+
+
+@lru_cache(maxsize=None)
+def lubm_large():
+    """The large-scale LUBM-role store."""
+    return build_lubm_database(universities=LUBM_LARGE_UNIVERSITIES, seed=0)
+
+
+@lru_cache(maxsize=None)
+def dblp():
+    """The DBLP-role store."""
+    return build_dblp_database(publications=DBLP_PUBLICATIONS, seed=0)
+
+
+_DB_BUILDERS = {"lubm-small": lubm_small, "lubm-large": lubm_large, "dblp": dblp}
+
+
+@lru_cache(maxsize=None)
+def database(dataset: str):
+    """A benchmark store by name: lubm-small | lubm-large | dblp."""
+    return _DB_BUILDERS[dataset]()
+
+
+@lru_cache(maxsize=None)
+def saturated_database(dataset: str):
+    """The pre-saturated twin of a benchmark store (Figure 10 baseline)."""
+    return database(dataset).saturated()
+
+
+# ----------------------------------------------------------------------
+# Engines and calibrated cost models
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def engine(dataset: str, engine_name: str):
+    """A query engine over a benchmark store."""
+    db = database(dataset)
+    if engine_name == "native-hash":
+        return NativeEngine(db, NATIVE_HASH)
+    if engine_name == "native-merge":
+        return NativeEngine(db, NATIVE_MERGE)
+    if engine_name == "sqlite":
+        return SQLiteEngine(db)
+    raise ValueError(f"unknown engine {engine_name!r}")
+
+
+@lru_cache(maxsize=None)
+def saturated_engine(dataset: str, engine_name: str):
+    """The same engine personality over the saturated store."""
+    db = saturated_database(dataset)
+    if engine_name == "native-hash":
+        return NativeEngine(db, NATIVE_HASH)
+    if engine_name == "native-merge":
+        return NativeEngine(db, NATIVE_MERGE)
+    if engine_name == "sqlite":
+        return SQLiteEngine(db)
+    raise ValueError(f"unknown engine {engine_name!r}")
+
+
+@lru_cache(maxsize=None)
+def cost_constants(dataset: str, engine_name: str) -> CostConstants:
+    """Calibrated constants for (dataset, engine), cached on disk."""
+    scale_tag = {
+        "lubm-small": LUBM_SMALL_UNIVERSITIES,
+        "lubm-large": LUBM_LARGE_UNIVERSITIES,
+        "dblp": DBLP_PUBLICATIONS,
+    }[dataset]
+    path = _CALIBRATION_DIR / f"{dataset}-{scale_tag}-{engine_name}.json"
+    if path.exists():
+        return CostConstants.from_dict(json.loads(path.read_text()))
+    constants = calibrate(engine(dataset, engine_name), database(dataset), repeats=2)
+    _CALIBRATION_DIR.mkdir(exist_ok=True)
+    path.write_text(json.dumps(constants.to_dict(), indent=2))
+    return constants
+
+
+@lru_cache(maxsize=None)
+def cost_model(dataset: str, engine_name: str) -> CostModel:
+    """The calibrated, engine-limit-aware cost model for an engine."""
+    return CostModel(
+        database(dataset),
+        constants=cost_constants(dataset, engine_name),
+        max_operand_terms=_ENGINE_LIMITS[engine_name],
+    )
+
+
+#: Materialization ceiling for reformulations.  Any UCQ (or fragment)
+#: beyond this exceeds every engine's statement limit anyway; aborting
+#: early keeps the q2/Q28-class monsters (paper: 318k terms) from
+#: exhausting memory.  Their exact |q_ref| still comes from the
+#: factorized counter.
+REFORMULATION_TERM_LIMIT = 50_000
+
+
+@lru_cache(maxsize=None)
+def reformulator(dataset: str) -> Reformulator:
+    """A shared memoizing reformulator per store."""
+    return Reformulator(database(dataset).schema, limit=REFORMULATION_TERM_LIMIT)
+
+
+@lru_cache(maxsize=None)
+def answerer(dataset: str, engine_name: str) -> QueryAnswerer:
+    """A ready QueryAnswerer wired with the calibrated cost model."""
+    return QueryAnswerer(
+        database(dataset),
+        engine=engine(dataset, engine_name),
+        cost_model=cost_model(dataset, engine_name),
+        reformulator=reformulator(dataset),
+        ecov_max_covers=20_000,
+    )
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def lubm_queries(include_motivating: bool = True) -> List:
+    """The LUBM workload entries (q1, q2, Q01-Q28)."""
+    entries = list(lubm_workload())
+    if include_motivating:
+        entries = [motivating_q1(), motivating_q2()] + entries
+    return entries
+
+
+def dblp_queries() -> List:
+    """The DBLP workload entries (Q01-Q10)."""
+    return list(dblp_workload())
+
+
+def workload(dataset: str) -> List:
+    """The workload matching a store."""
+    return dblp_queries() if dataset == "dblp" else lubm_queries()
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+@dataclass
+class Measurement:
+    """One (query, strategy, engine) data point."""
+
+    dataset: str
+    query: str
+    strategy: str
+    engine: str
+    status: str  # "ok" | "failed" | "timeout" | "infeasible"
+    optimization_s: float = 0.0
+    evaluation_s: float = 0.0
+    answers: int = 0
+    reformulation_terms: int = 0
+    covers_explored: int = 0
+    detail: str = ""
+
+    @property
+    def total_ms(self) -> float:
+        return (self.optimization_s + self.evaluation_s) * 1000.0
+
+    @property
+    def evaluation_ms(self) -> float:
+        return self.evaluation_s * 1000.0
+
+    def cell(self) -> str:
+        """Paper-style table cell: *evaluation* time in ms (the paper's
+        Figures 4-6 plot the reformulated query's evaluation; optimizer
+        running times are Figure 7/8 material), or the failure kind."""
+        if self.status == "ok":
+            return f"{self.evaluation_ms:.1f}"
+        return self.status.upper()
+
+
+def measure(
+    dataset: str,
+    entry,
+    strategy: str,
+    engine_name: str,
+    timeout_s: Optional[float] = None,
+) -> Measurement:
+    """Answer one query under one strategy/engine, with missing-bar semantics."""
+    from repro.optimizer import SearchInfeasible
+    from repro.reformulation import ReformulationLimitExceeded
+
+    timeout_s = EVAL_TIMEOUT_S if timeout_s is None else timeout_s
+    qa = answerer(dataset, engine_name)
+    try:
+        report = qa.answer(entry.query, strategy=strategy, timeout_s=timeout_s)
+    except ReformulationLimitExceeded as error:
+        return Measurement(
+            dataset, entry.name, strategy, engine_name, "failed", detail=str(error)
+        )
+    except SearchInfeasible as error:
+        return Measurement(
+            dataset, entry.name, strategy, engine_name, "infeasible", detail=str(error)
+        )
+    except EngineFailure as error:
+        status = "timeout" if "timed out" in str(error).lower() else "failed"
+        return Measurement(
+            dataset, entry.name, strategy, engine_name, status, detail=str(error)
+        )
+    return Measurement(
+        dataset,
+        entry.name,
+        strategy,
+        engine_name,
+        "ok",
+        optimization_s=report.optimization_s,
+        evaluation_s=report.evaluation_s,
+        answers=report.answer_count,
+        reformulation_terms=report.reformulation_terms,
+        covers_explored=report.covers_explored,
+    )
+
+
+def run_grid(
+    dataset: str,
+    entries: Sequence,
+    strategies: Sequence[str],
+    engines: Sequence[str],
+    timeout_s: Optional[float] = None,
+) -> List[Measurement]:
+    """The full (query × strategy × engine) grid of one figure."""
+    results = []
+    for engine_name in engines:
+        for entry in entries:
+            for strategy in strategies:
+                results.append(
+                    measure(dataset, entry, strategy, engine_name, timeout_s)
+                )
+    return results
+
+
+def print_grid(
+    title: str, results: Sequence[Measurement], strategies: Sequence[str]
+) -> None:
+    """Render a figure's measurements as one table per engine."""
+    print(f"\n=== {title} ===")
+    engines = sorted({m.engine for m in results})
+    queries: List[str] = []
+    for m in results:
+        if m.query not in queries:
+            queries.append(m.query)
+    for engine_name in engines:
+        print(
+            f"\n-- engine: {engine_name} "
+            "(evaluation time of the reformulated query, ms; log-scale in the paper)"
+        )
+        header = "query".ljust(6) + "".join(s.rjust(14) for s in strategies)
+        print(header)
+        for query in queries:
+            row = query.ljust(6)
+            for strategy in strategies:
+                cell = next(
+                    (
+                        m.cell()
+                        for m in results
+                        if m.engine == engine_name
+                        and m.query == query
+                        and m.strategy == strategy
+                    ),
+                    "-",
+                )
+                row += cell.rjust(14)
+            print(row)
+
+
+def results_dir() -> Path:
+    """Directory where full-grid runs store their reports."""
+    path = Path(__file__).parent / "results"
+    path.mkdir(exist_ok=True)
+    return path

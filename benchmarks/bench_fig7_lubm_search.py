@@ -1,0 +1,137 @@
+"""Figure 7 — LUBM: covers explored and optimizer running times.
+
+Top of the paper's figure: the number of covers explored by ECov (the
+whole space) vs GCov (a small subset).  Bottom: the running time of
+GCov and ECov next to the time to merely *build* the UCQ and SCQ
+reformulations.  Expected shape: GCov explores a fraction of the space
+and can be an order of magnitude faster than ECov; UCQ/SCQ construction
+is cheaper still (they are cost-ignorant); the worst optimizer times
+belong to the huge-reformulation queries (q2, Q28).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import _harness as H
+from repro.cost import CostModel
+from repro.optimizer import SearchInfeasible, ecov, gcov
+from repro.reformulation import Reformulator, scq_reformulation, ucq_reformulation
+
+DATASET = "lubm-small"
+QUERY_SUBSET = ("q1", "Q02", "Q09", "Q18", "Q26")
+
+
+def _entry(name: str):
+    return next(e for e in H.workload(DATASET) if e.name == name)
+
+
+def _fresh_tools():
+    """Unshared reformulator+model so each measurement pays full cost."""
+    db = H.database(DATASET)
+    return (
+        Reformulator(db.schema, limit=H.REFORMULATION_TERM_LIMIT),
+        CostModel(db, constants=H.cost_constants(DATASET, "native-hash")),
+    )
+
+
+@pytest.mark.parametrize("name", QUERY_SUBSET)
+def test_fig7_gcov_time(benchmark, name):
+    query = _entry(name).query
+
+    def run():
+        reformulator, model = _fresh_tools()
+        return gcov(query, reformulator, model.cost)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["covers_explored"] = result.covers_explored
+
+
+@pytest.mark.parametrize("name", QUERY_SUBSET)
+def test_fig7_ecov_time(benchmark, name):
+    query = _entry(name).query
+
+    def run():
+        reformulator, model = _fresh_tools()
+        return ecov(query, reformulator, model.cost, max_covers=20_000)
+
+    try:
+        result = benchmark.pedantic(run, rounds=1, iterations=1)
+    except SearchInfeasible as error:
+        pytest.skip(f"ECov infeasible: {error}")
+    benchmark.extra_info["covers_explored"] = result.covers_explored
+
+
+@pytest.mark.parametrize("name", QUERY_SUBSET)
+def test_fig7_ucq_build_time(benchmark, name):
+    query = _entry(name).query
+
+    def run():
+        reformulator, _ = _fresh_tools()
+        return ucq_reformulation(query, reformulator)
+
+    ucq = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["terms"] = len(ucq)
+
+
+def test_fig7_gcov_explores_fraction(benchmark):
+    """GCov explores far fewer covers than ECov on multi-atom queries."""
+
+    def run():
+        reformulator, model = _fresh_tools()
+        query = _entry("Q02").query  # 6 atoms
+        greedy = gcov(query, reformulator, model.cost)
+        exhaustive = ecov(query, reformulator, model.cost, max_covers=50_000)
+        return greedy, exhaustive
+
+    greedy, exhaustive = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert greedy.covers_explored < exhaustive.covers_explored / 2
+
+
+def main():
+    print(f"Figure 7 — optimizer search on {DATASET}")
+    print(
+        f"{'query':8}{'ECov covers':>12}{'GCov covers':>12}"
+        f"{'ECov (ms)':>12}{'GCov (ms)':>12}{'UCQ build':>12}{'SCQ build':>12}"
+    )
+    for entry in H.workload(DATASET):
+        query = entry.query
+        reformulator, model = _fresh_tools()
+        start = time.perf_counter()
+        try:
+            exhaustive = ecov(query, reformulator, model.cost, max_covers=20_000)
+            ecov_cell = f"{(time.perf_counter() - start) * 1000:.0f}"
+            ecov_covers = str(exhaustive.covers_explored)
+        except SearchInfeasible:
+            ecov_cell, ecov_covers = "INF", "INF"
+        reformulator2, model2 = _fresh_tools()
+        start = time.perf_counter()
+        greedy = gcov(query, reformulator2, model2.cost)
+        gcov_ms = (time.perf_counter() - start) * 1000
+        from repro.reformulation import ReformulationLimitExceeded
+
+        reformulator3, _ = _fresh_tools()
+        start = time.perf_counter()
+        try:
+            ucq_reformulation(query, reformulator3)
+            ucq_cell = f"{(time.perf_counter() - start) * 1000:.0f}"
+        except ReformulationLimitExceeded:
+            ucq_cell = "LIM"
+        reformulator4, _ = _fresh_tools()
+        start = time.perf_counter()
+        scq_reformulation(query, reformulator4)
+        scq_ms = (time.perf_counter() - start) * 1000
+        print(
+            f"{entry.name:8}{ecov_covers:>12}{greedy.covers_explored:>12}"
+            f"{ecov_cell:>12}{gcov_ms:>12.0f}{ucq_cell:>12}{scq_ms:>12.0f}"
+        )
+        del reformulator, reformulator2, reformulator3, reformulator4
+        import gc
+
+        gc.collect()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Figure 8 — DBLP: covers explored and optimizer running times.
+
+Same metrics as Figure 7, on the DBLP workload.  The paper's headline
+here: on the 10-atom Q10, ECov times out exploring the huge cover
+space, while GCov's exploration stays small; the highest optimizer
+times are on the huge-reformulation Q10.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import _harness as H
+from repro.cost import CostModel
+from repro.optimizer import SearchInfeasible, ecov, gcov
+from repro.reformulation import Reformulator, scq_reformulation, ucq_reformulation
+
+DATASET = "dblp"
+QUERY_SUBSET = ("Q01", "Q06", "Q09", "Q10")
+
+
+def _entry(name: str):
+    return next(e for e in H.workload(DATASET) if e.name == name)
+
+
+def _fresh_tools():
+    db = H.database(DATASET)
+    return (
+        Reformulator(db.schema, limit=H.REFORMULATION_TERM_LIMIT),
+        CostModel(db, constants=H.cost_constants(DATASET, "native-hash")),
+    )
+
+
+@pytest.mark.parametrize("name", QUERY_SUBSET)
+def test_fig8_gcov_time(benchmark, name):
+    query = _entry(name).query
+
+    def run():
+        reformulator, model = _fresh_tools()
+        return gcov(query, reformulator, model.cost)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["covers_explored"] = result.covers_explored
+
+
+@pytest.mark.parametrize("name", ("Q01", "Q06", "Q09"))
+def test_fig8_ecov_time(benchmark, name):
+    query = _entry(name).query
+
+    def run():
+        reformulator, model = _fresh_tools()
+        return ecov(query, reformulator, model.cost, max_covers=20_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["covers_explored"] = result.covers_explored
+
+
+def test_fig8_ecov_infeasible_on_q10(benchmark):
+    def run():
+        reformulator, model = _fresh_tools()
+        try:
+            # The 10-atom cover space dwarfs any budget; 3k covers is
+            # already enough to demonstrate the blow-up cheaply.
+            ecov(_entry("Q10").query, reformulator, model.cost, max_covers=3_000)
+        except SearchInfeasible:
+            return True
+        return False
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def main():
+    print(f"Figure 8 — optimizer search on {DATASET}")
+    print(
+        f"{'query':8}{'ECov covers':>12}{'GCov covers':>12}"
+        f"{'ECov (ms)':>12}{'GCov (ms)':>12}{'UCQ build':>12}{'SCQ build':>12}"
+    )
+    for entry in H.workload(DATASET):
+        query = entry.query
+        reformulator, model = _fresh_tools()
+        start = time.perf_counter()
+        try:
+            exhaustive = ecov(query, reformulator, model.cost, max_covers=20_000)
+            ecov_cell = f"{(time.perf_counter() - start) * 1000:.0f}"
+            ecov_covers = str(exhaustive.covers_explored)
+        except SearchInfeasible:
+            ecov_cell, ecov_covers = "INF", "INF"
+        reformulator2, model2 = _fresh_tools()
+        start = time.perf_counter()
+        greedy = gcov(query, reformulator2, model2.cost)
+        gcov_ms = (time.perf_counter() - start) * 1000
+        from repro.reformulation import ReformulationLimitExceeded
+
+        reformulator3, _ = _fresh_tools()
+        start = time.perf_counter()
+        try:
+            ucq_reformulation(query, reformulator3)
+            ucq_cell = f"{(time.perf_counter() - start) * 1000:.0f}"
+        except ReformulationLimitExceeded:
+            ucq_cell = "LIM"
+        reformulator4, _ = _fresh_tools()
+        start = time.perf_counter()
+        scq_reformulation(query, reformulator4)
+        scq_ms = (time.perf_counter() - start) * 1000
+        print(
+            f"{entry.name:8}{ecov_covers:>12}{greedy.covers_explored:>12}"
+            f"{ecov_cell:>12}{gcov_ms:>12.0f}{ucq_cell:>12}{scq_ms:>12.0f}"
+        )
+        del reformulator, reformulator2, reformulator3, reformulator4
+        import gc
+
+        gc.collect()
+
+
+if __name__ == "__main__":
+    main()

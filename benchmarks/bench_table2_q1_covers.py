@@ -1,0 +1,97 @@
+"""Table 2 — every cover-based reformulation of q1.
+
+The paper lists all eight covers of the three-triple q1 with their
+number of union terms and execution times: the monolithic UCQ
+(t1,t2,t3) is slow, the SCQ (t1)(t2)(t3) is far worse, and the grouped
+(t1,t3)(t2) wins by >10×.  This bench regenerates the eight rows.
+
+Run directly for the paper-style table; under pytest-benchmark each
+cover's evaluation is one measured case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _harness as H
+from repro.datasets import motivating_q1
+from repro.engine import EngineFailure
+from repro.reformulation import enumerate_covers, format_cover, jucq_for_cover
+
+DATASET = "lubm-small"
+ENGINE = "native-hash"
+
+
+def _covers():
+    query = motivating_q1().query
+    return [(format_cover(query, cover), cover) for cover in enumerate_covers(query)]
+
+
+def _jucq(cover):
+    return jucq_for_cover(motivating_q1().query, cover, H.reformulator(DATASET))
+
+
+_COVER_IDS = [label for label, _ in _covers()]
+
+
+@pytest.mark.parametrize("label", _COVER_IDS)
+def test_table2_cover_evaluation(benchmark, label):
+    cover = dict(_covers())[label]
+    jucq = _jucq(cover)  # built (and memoized) outside the measurement
+    engine = H.engine(DATASET, ENGINE)
+
+    def evaluate():
+        return engine.count(jucq, timeout_s=H.EVAL_TIMEOUT_S)
+
+    try:
+        answers = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    except EngineFailure as error:
+        pytest.skip(f"engine limit (paper's missing cell): {error}")
+    benchmark.extra_info.update(
+        {"cover": label, "reformulations": jucq.total_union_terms(), "answers": answers}
+    )
+
+
+def test_table2_all_covers_agree(benchmark):
+    """Theorem 3.1 at benchmark scale: every cover returns the same set."""
+
+    def check():
+        engine = H.engine(DATASET, ENGINE)
+        counts = set()
+        for _, cover in _covers():
+            counts.add(engine.count(_jucq(cover), timeout_s=H.EVAL_TIMEOUT_S))
+        return counts
+
+    counts = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert len(counts) == 1
+
+
+def main():
+    import time
+
+    from repro.reformulation import jucq_for_cover as build
+
+    # Both scales: the SCQ-vs-grouped crossover is scale-dependent (the
+    # paper's 100M-triple store sits far above it).
+    for dataset in ("lubm-small", "lubm-large"):
+        engine = H.engine(dataset, ENGINE)
+        reformulator = H.reformulator(dataset)
+        print(f"\nTable 2 — cover-based reformulations of q1 "
+              f"(dataset: {dataset}, {len(H.database(dataset))} triples, "
+              f"engine: {ENGINE})")
+        print(f"{'cover':28}{'#reformulations':>18}"
+              f"{'exec. time (ms)':>18}{'#answers':>10}")
+        for label, cover in _covers():
+            jucq = build(motivating_q1().query, cover, reformulator)
+            start = time.perf_counter()
+            try:
+                answers = engine.count(jucq, timeout_s=H.EVAL_TIMEOUT_S)
+                cell = f"{(time.perf_counter() - start) * 1000:.1f}"
+            except EngineFailure:
+                answers, cell = "-", "FAILED"
+            print(f"{label:28}{jucq.total_union_terms():>18}"
+                  f"{cell:>18}{answers!s:>10}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart — answer a SPARQL BGP query over RDF data with RDFS reasoning.
+
+Loads the paper's running example (a book, its author, and four RDFS
+constraints), then shows the three ways the library answers a query:
+
+* plain evaluation (incomplete — misses implicit triples);
+* saturation-based answering;
+* reformulation-based answering with a cost-chosen JUCQ (the paper's
+  contribution), which needs neither saturation nor maintenance.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import QueryAnswerer, RDFDatabase, load_graph, parse_query
+
+EXAMPLE_DATA = """
+# Facts (paper Example 1).
+<http://ex/doi1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Book> .
+<http://ex/doi1> <http://ex/writtenBy> _:b1 .
+<http://ex/doi1> <http://ex/hasTitle> "Game of Thrones" .
+_:b1 <http://ex/hasName> "George R. R. Martin" .
+<http://ex/doi1> <http://ex/publishedIn> "1996" .
+
+# RDFS constraints (paper Example 2).
+<http://ex/Book> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/Publication> .
+<http://ex/writtenBy> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <http://ex/hasAuthor> .
+<http://ex/writtenBy> <http://www.w3.org/2000/01/rdf-schema#domain> <http://ex/Book> .
+<http://ex/writtenBy> <http://www.w3.org/2000/01/rdf-schema#range> <http://ex/Person> .
+<http://ex/hasAuthor> <http://www.w3.org/2000/01/rdf-schema#domain> <http://ex/Book> .
+<http://ex/hasAuthor> <http://www.w3.org/2000/01/rdf-schema#range> <http://ex/Person> .
+"""
+
+# The paper's Example 3: names of authors of things connected to "1996".
+QUERY = """
+PREFIX ex: <http://ex/>
+SELECT ?name WHERE {
+    ?book ex:hasAuthor ?author .
+    ?author ex:hasName ?name .
+    ?book ?anyProperty "1996"
+}
+"""
+
+
+def main() -> None:
+    # A database splits the input into in-memory RDFS constraints and an
+    # indexed, dictionary-encoded triple table of facts.
+    database = RDFDatabase.from_graph(load_graph(EXAMPLE_DATA))
+    print(f"loaded: {database!r}")
+
+    query = parse_query(QUERY, name="authors_of_1996")
+    answerer = QueryAnswerer(database)
+
+    # Reformulation-based answering: the query is rewritten w.r.t. the
+    # constraints and evaluated over the *non-saturated* facts.
+    report = answerer.answer(query, strategy="gcov")
+    print(f"\nGCov JUCQ answering ({report.reformulation_terms} union terms):")
+    for row in sorted(report.answers):
+        print("  ", *[str(term) for term in row])
+
+    # The same answers come from the saturation baseline...
+    saturated = answerer.answer(query, strategy="saturation")
+    assert saturated.answers == report.answers
+    print("\nsaturation-based answering agrees ✔")
+
+    # ...but plain evaluation over the raw facts is incomplete: nothing
+    # explicitly uses ex:hasAuthor, so the answer set is empty.
+    from repro.engine import NativeEngine
+
+    plain = NativeEngine(database).evaluate(query)
+    print(f"plain evaluation (no reasoning): {len(plain)} answers — incomplete!")
+
+
+if __name__ == "__main__":
+    main()

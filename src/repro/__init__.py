@@ -1,0 +1,74 @@
+"""repro — cost-based JUCQ reformulation for RDF query answering.
+
+A from-scratch reproduction of Bursztyn, Goasdoué & Manolescu,
+*Optimizing Reformulation-based Query Answering in RDF* (EDBT 2015 /
+INRIA RR-8646).
+
+Quick start::
+
+    from repro import QueryAnswerer, build_lubm_database, parse_query
+
+    db = build_lubm_database(universities=3)
+    answerer = QueryAnswerer(db)
+    query = parse_query(
+        "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> "
+        "SELECT ?x WHERE { ?x a ub:Professor . "
+        "?x ub:worksFor <http://www.univ0.edu/dept0> }"
+    )
+    report = answerer.answer(query, strategy="gcov")
+    print(report.answer_count, report.cover)
+"""
+
+from .answering import AnswerReport, QueryAnswerer, STRATEGIES
+from .cost import CardinalityEstimator, CostConstants, CostModel, calibrate
+from .datasets import build_dblp_database, build_lubm_database
+from .engine import (
+    EngineFailure,
+    EngineTimeout,
+    NATIVE_HASH,
+    NATIVE_MERGE,
+    NativeEngine,
+    SQLiteEngine,
+)
+from .optimizer import SearchInfeasible, ecov, gcov
+from .query import BGPQuery, JUCQ, UCQ, parse_query
+from .rdf import RDFGraph, RDFSchema, Triple, URI, Variable, load_graph
+from .reformulation import Reformulator, jucq_for_cover, reformulate
+from .storage import RDFDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerReport",
+    "BGPQuery",
+    "CardinalityEstimator",
+    "CostConstants",
+    "CostModel",
+    "EngineFailure",
+    "EngineTimeout",
+    "JUCQ",
+    "NATIVE_HASH",
+    "NATIVE_MERGE",
+    "NativeEngine",
+    "QueryAnswerer",
+    "RDFDatabase",
+    "RDFGraph",
+    "RDFSchema",
+    "Reformulator",
+    "STRATEGIES",
+    "SQLiteEngine",
+    "SearchInfeasible",
+    "Triple",
+    "UCQ",
+    "URI",
+    "Variable",
+    "build_dblp_database",
+    "build_lubm_database",
+    "calibrate",
+    "ecov",
+    "gcov",
+    "jucq_for_cover",
+    "load_graph",
+    "parse_query",
+    "reformulate",
+]

@@ -1,0 +1,5 @@
+"""Public query-answering facade."""
+
+from .answerer import STRATEGIES, AnswerReport, QueryAnswerer
+
+__all__ = ["AnswerReport", "QueryAnswerer", "STRATEGIES"]

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``
+    Emit a synthetic benchmark dataset as N-Triples (schema included).
+
+``query``
+    Load an N-Triples file and answer a SPARQL BGP query under a chosen
+    strategy, printing answers and timing.
+
+``explain``
+    Show the reformulation a strategy would evaluate — cover, union
+    term counts, generated SQL or native plan — without evaluating it.
+
+``stats``
+    Summarize a dataset: triples, dictionary, schema, class histogram.
+
+Examples::
+
+    python -m repro generate lubm --universities 2 -o campus.nt
+    python -m repro query campus.nt -q "SELECT ?x WHERE { ?x a ub:Professor }" \\
+        --prefix ub=http://swat.cse.lehigh.edu/onto/univ-bench.owl#
+    python -m repro explain campus.nt -q "..." --strategy gcov --sql
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .answering import STRATEGIES, QueryAnswerer
+from .datasets import DBLPGenerator, DBLPProfile, LUBMGenerator, dblp_schema, lubm_schema
+from .engine import NativeEngine, SQLiteEngine, to_sql
+from .query import parse_query
+from .rdf import read_ntriples, write_ntriples
+from .storage import RDFDatabase
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("data", help="N-Triples file (constraints + facts)")
+    parser.add_argument("-q", "--query", required=True, help="SPARQL BGP text")
+    parser.add_argument(
+        "--prefix",
+        action="append",
+        default=[],
+        metavar="NAME=IRI",
+        help="extra prefix declaration (repeatable)",
+    )
+    parser.add_argument(
+        "--strategy", choices=STRATEGIES, default="gcov", help="answering strategy"
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("native", "sqlite"),
+        default="native",
+        help="evaluation engine",
+    )
+
+
+def _load_database(path: str) -> RDFDatabase:
+    with open(path, "r", encoding="utf-8") as source:
+        return RDFDatabase.from_triples(read_ntriples(source))
+
+
+def _parse_with_prefixes(text: str, prefixes: List[str]):
+    declarations = []
+    for declaration in prefixes:
+        name, _, iri = declaration.partition("=")
+        if not iri:
+            raise SystemExit(f"bad --prefix {declaration!r}; expected NAME=IRI")
+        declarations.append(f"PREFIX {name}: <{iri}> ")
+    return parse_query("".join(declarations) + text)
+
+
+def _answerer(database: RDFDatabase, engine_kind: str) -> QueryAnswerer:
+    engine = (
+        SQLiteEngine(database) if engine_kind == "sqlite" else NativeEngine(database)
+    )
+    return QueryAnswerer(database, engine=engine)
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: emit a synthetic dataset as N-Triples."""
+    if args.flavor == "lubm":
+        schema = lubm_schema()
+        facts = LUBMGenerator(universities=args.universities, seed=args.seed).triples()
+    else:
+        schema = dblp_schema()
+        facts = DBLPGenerator(
+            DBLPProfile(publications=args.publications), seed=args.seed
+        ).triples()
+    sink = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    try:
+        written = write_ntriples(schema.to_triples(), sink)
+        written += write_ntriples(facts, sink)
+    finally:
+        if args.output:
+            sink.close()
+    print(f"wrote {written} triples to {args.output or 'stdout'}", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``repro query``: answer a BGP query over an N-Triples file."""
+    database = _load_database(args.data)
+    query = _parse_with_prefixes(args.query, args.prefix)
+    answerer = _answerer(database, args.engine)
+    report = answerer.answer(query, strategy=args.strategy, timeout_s=args.timeout)
+    for row in sorted(report.answers):
+        print("\t".join(str(term) for term in row))
+    print(
+        f"# {report.answer_count} answers | strategy={report.strategy} "
+        f"| union terms={report.reformulation_terms} "
+        f"| optimize={report.optimization_s * 1000:.1f}ms "
+        f"| evaluate={report.evaluation_s * 1000:.1f}ms",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro explain``: show the chosen reformulation without running it."""
+    database = _load_database(args.data)
+    query = _parse_with_prefixes(args.query, args.prefix)
+    answerer = _answerer(database, args.engine)
+    start = time.perf_counter()
+    planned, search = answerer.plan(query, args.strategy)
+    elapsed = (time.perf_counter() - start) * 1000
+    print(f"strategy: {args.strategy} (planned in {elapsed:.1f} ms)")
+    if search is not None:
+        from .reformulation import format_cover
+
+        print(f"cover: {format_cover(query, search.cover)}")
+        print(f"covers explored: {search.covers_explored}")
+        print(f"estimated cost: {search.estimated_cost:.6f}")
+    if args.strategy != "saturation":
+        print(f"union terms: {planned.total_union_terms()}")
+    if args.sql:
+        print("\n-- SQL --")
+        print(to_sql(planned, database.dictionary))
+    else:
+        print("\n-- plan --")
+        print(NativeEngine(database).explain(planned))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro stats``: summarize a dataset."""
+    database = _load_database(args.data)
+    print(f"facts: {len(database)}")
+    print(f"dictionary: {len(database.dictionary)} values {database.dictionary.stats()}")
+    schema = database.schema
+    print(
+        f"schema: {len(schema)} constraints, {len(schema.classes)} classes, "
+        f"{len(schema.properties)} properties"
+    )
+    from .rdf.vocabulary import RDF_TYPE
+
+    type_code = database.dictionary.lookup(RDF_TYPE)
+    if type_code is not None:
+        print("class histogram (explicit assertions):")
+        rows = database.table.match((None, type_code, None))
+        import numpy as np
+
+        classes, counts = np.unique(rows[:, 2], return_counts=True)
+        histogram = sorted(
+            zip(counts.tolist(), classes.tolist()), reverse=True
+        )
+        for count, cls in histogram[: args.top]:
+            print(f"  {count:8d}  {database.dictionary.decode(cls)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cost-based JUCQ reformulation for RDF"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="emit a synthetic dataset")
+    generate.add_argument("flavor", choices=("lubm", "dblp"))
+    generate.add_argument("--universities", type=int, default=1)
+    generate.add_argument("--publications", type=int, default=2000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", help="output file (default stdout)")
+    generate.set_defaults(handler=cmd_generate)
+
+    query = commands.add_parser("query", help="answer a query over a dataset")
+    _add_query_arguments(query)
+    query.add_argument("--timeout", type=float, default=None, help="seconds")
+    query.set_defaults(handler=cmd_query)
+
+    explain = commands.add_parser("explain", help="show the chosen reformulation")
+    _add_query_arguments(explain)
+    explain.add_argument("--sql", action="store_true", help="print generated SQL")
+    explain.set_defaults(handler=cmd_explain)
+
+    stats = commands.add_parser("stats", help="summarize a dataset")
+    stats.add_argument("data", help="N-Triples file")
+    stats.add_argument("--top", type=int, default=10, help="histogram rows")
+    stats.set_defaults(handler=cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Cost estimation: cardinalities, the Section 4.1 model, calibration."""
+
+from .calibration import calibrate, load_constants, save_constants
+from .cardinality import CardinalityEstimator
+from .model import CostBreakdown, CostConstants, CostModel
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostBreakdown",
+    "CostConstants",
+    "CostModel",
+    "calibrate",
+    "load_constants",
+    "save_constants",
+]

@@ -1,0 +1,48 @@
+"""Benchmark datasets: LUBM-style, DBLP-style generators and workloads."""
+
+from .dblp import DBLP, DBLPGenerator, DBLPProfile, build_dblp_database, dblp, dblp_schema
+from .lubm import (
+    DEFAULT_PROFILE,
+    LUBMGenerator,
+    LUBMProfile,
+    UB,
+    build_lubm_database,
+    department_uri,
+    lubm_schema,
+    ub,
+    university_uri,
+)
+from .workloads import (
+    WorkloadQuery,
+    dblp_query,
+    dblp_workload,
+    lubm_query,
+    lubm_workload,
+    motivating_q1,
+    motivating_q2,
+)
+
+__all__ = [
+    "DBLP",
+    "DBLPGenerator",
+    "DBLPProfile",
+    "DEFAULT_PROFILE",
+    "LUBMGenerator",
+    "LUBMProfile",
+    "UB",
+    "WorkloadQuery",
+    "build_dblp_database",
+    "build_lubm_database",
+    "dblp",
+    "dblp_query",
+    "dblp_schema",
+    "dblp_workload",
+    "department_uri",
+    "lubm_query",
+    "lubm_schema",
+    "lubm_workload",
+    "motivating_q1",
+    "motivating_q2",
+    "ub",
+    "university_uri",
+]

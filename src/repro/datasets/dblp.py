@@ -1,0 +1,207 @@
+"""DBLP-style benchmark substrate: bibliography schema + generator.
+
+The paper's second dataset is an RDF export of DBLP (8M triples).  Its
+salient structure, which this module reproduces synthetically:
+
+* a publication-type hierarchy under ``Publication`` with very skewed
+  population (conference papers and journal articles dominate; theses
+  and web pages are rare);
+* contributor properties with a small hierarchy
+  (``author``/``editor`` ⊑ ``contributor``) and Zipf-like author
+  productivity;
+* venue/stream resources (journals, conference series) every
+  publication links to, plus literal metadata (title, year, pages).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..rdf.schema import RDFSchema
+from ..rdf.terms import Literal, Triple, URI
+from ..rdf.vocabulary import RDF_TYPE
+
+#: Namespace of the DBLP-style ontology.
+DBLP = "http://dblp.example.org/schema#"
+
+
+def dblp(local: str) -> URI:
+    """A term in the DBLP-style namespace."""
+    return URI(DBLP + local)
+
+
+_SUBCLASSES = [
+    ("Article", "Publication"),
+    ("Inproceedings", "Publication"),
+    ("Proceedings", "Publication"),
+    ("Book", "Publication"),
+    ("Incollection", "Publication"),
+    ("Thesis", "Publication"),
+    ("PhdThesis", "Thesis"),
+    ("MastersThesis", "Thesis"),
+    ("WebPage", "Publication"),
+    ("Journal", "Venue"),
+    ("ConferenceSeries", "Venue"),
+    ("Editor", "Agent"),
+    ("Author", "Agent"),
+    ("Person", "Agent"),
+]
+
+_SUBPROPERTIES = [
+    ("author", "contributor"),
+    ("editor", "contributor"),
+]
+
+_PROPERTY_TYPING = {
+    "contributor": ("Publication", "Person"),
+    "author": ("Publication", "Person"),
+    "editor": ("Publication", "Person"),
+    "journal": ("Article", "Journal"),
+    "series": ("Inproceedings", "ConferenceSeries"),
+    "crossref": ("Inproceedings", "Proceedings"),
+    "cite": ("Publication", "Publication"),
+    "title": ("Publication", None),
+    "year": ("Publication", None),
+    "pages": ("Publication", None),
+    "name": ("Person", None),
+    "homepage": ("Person", None),
+}
+
+
+def dblp_schema() -> RDFSchema:
+    """The DBLP-style RDFS schema."""
+    schema = RDFSchema()
+    for sub, sup in _SUBCLASSES:
+        schema.add_subclass(dblp(sub), dblp(sup))
+    for sub, sup in _SUBPROPERTIES:
+        schema.add_subproperty(dblp(sub), dblp(sup))
+    for prop, (domain, range_) in _PROPERTY_TYPING.items():
+        if domain is not None:
+            schema.add_domain(dblp(prop), dblp(domain))
+        if range_ is not None:
+            schema.add_range(dblp(prop), dblp(range_))
+    return schema
+
+
+#: (class local name, population weight) — the DBLP skew.
+_KIND_WEIGHTS = [
+    ("Inproceedings", 48),
+    ("Article", 38),
+    ("Incollection", 5),
+    ("Proceedings", 4),
+    ("Book", 2),
+    ("PhdThesis", 2),
+    ("MastersThesis", 1),
+    ("WebPage", 1),
+]
+
+
+@dataclass(frozen=True)
+class DBLPProfile:
+    """Generator knobs."""
+
+    publications: int = 20_000
+    authors_per_publication_mean: float = 2.6
+    journals: int = 60
+    conference_series: int = 90
+    citation_probability: float = 0.3
+    author_pool_fraction: float = 0.35
+
+
+class DBLPGenerator:
+    """Deterministic generator of DBLP-style fact triples.
+
+    Author productivity is Zipf-like: the author of each slot is drawn
+    with a heavy-tailed distribution over the pool, producing the usual
+    few-prolific/many-occasional shape.
+    """
+
+    def __init__(self, profile: DBLPProfile = DBLPProfile(), seed: int = 0):
+        self.profile = profile
+        self.seed = seed
+
+    def triples(self) -> Iterator[Triple]:
+        """Yield every fact triple of the configured dataset."""
+        rng = random.Random(f"dblp:{self.seed}")
+        profile = self.profile
+        pool_size = max(10, int(profile.publications * profile.author_pool_fraction))
+        journals = [URI(f"http://dblp.example.org/journal/{i}") for i in range(profile.journals)]
+        series = [
+            URI(f"http://dblp.example.org/series/{i}")
+            for i in range(profile.conference_series)
+        ]
+        for journal_index, journal in enumerate(journals):
+            yield Triple(journal, RDF_TYPE, dblp("Journal"))
+            yield Triple(journal, dblp("title"), Literal(f"Journal {journal_index}"))
+        for series_index, one_series in enumerate(series):
+            yield Triple(one_series, RDF_TYPE, dblp("ConferenceSeries"))
+            yield Triple(one_series, dblp("title"), Literal(f"Conf {series_index}"))
+
+        emitted_persons: set = set()
+        kinds: List[str] = [k for k, _ in _KIND_WEIGHTS]
+        weights: List[int] = [w for _, w in _KIND_WEIGHTS]
+        proceedings: List[URI] = []
+        for index in range(profile.publications):
+            publication = URI(f"http://dblp.example.org/rec/{index}")
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            yield Triple(publication, RDF_TYPE, dblp(kind))
+            yield Triple(publication, dblp("title"), Literal(f"Title {index}"))
+            yield Triple(
+                publication, dblp("year"), Literal(str(1970 + (index * 7) % 55))
+            )
+            if rng.random() < 0.8:
+                yield Triple(
+                    publication,
+                    dblp("pages"),
+                    Literal(f"{rng.randrange(1, 400)}-{rng.randrange(401, 800)}"),
+                )
+            # Contributors: Zipf-ish author draws; proceedings get editors.
+            contributor_property = "editor" if kind == "Proceedings" else "author"
+            how_many = max(1, int(rng.expovariate(1.0 / profile.authors_per_publication_mean)))
+            for slot in range(min(how_many, 8)):
+                author_id = self._zipf_draw(rng, pool_size)
+                person = URI(f"http://dblp.example.org/person/{author_id}")
+                yield Triple(publication, dblp(contributor_property), person)
+                if person not in emitted_persons:
+                    emitted_persons.add(person)
+                    yield Triple(person, RDF_TYPE, dblp("Person"))
+                    yield Triple(person, dblp("name"), Literal(f"Person {author_id}"))
+                    if author_id % 20 == 0:
+                        yield Triple(
+                            person,
+                            dblp("homepage"),
+                            Literal(f"http://people.example.org/{author_id}"),
+                        )
+            if kind == "Article":
+                yield Triple(publication, dblp("journal"), rng.choice(journals))
+            elif kind == "Inproceedings":
+                yield Triple(publication, dblp("series"), rng.choice(series))
+                if proceedings and rng.random() < 0.7:
+                    yield Triple(publication, dblp("crossref"), rng.choice(proceedings))
+            elif kind == "Proceedings":
+                proceedings.append(publication)
+            if index and rng.random() < profile.citation_probability:
+                cited = URI(f"http://dblp.example.org/rec/{rng.randrange(index)}")
+                yield Triple(publication, dblp("cite"), cited)
+
+    @staticmethod
+    def _zipf_draw(rng: random.Random, pool_size: int) -> int:
+        """A heavy-tailed author index in ``[0, pool_size)``."""
+        # Inverse-power transform: u^(-1/s) - 1 with s ≈ 1.3.
+        u = rng.random()
+        value = int((u ** (-1.0 / 1.3) - 1.0) * pool_size / 20.0)
+        return value % pool_size
+
+
+def build_dblp_database(
+    publications: int = 20_000, seed: int = 0, bits: int = 21
+):
+    """A ready :class:`~repro.storage.RDFDatabase` with DBLP-style content."""
+    from ..storage.database import RDFDatabase
+
+    profile = DBLPProfile(publications=publications)
+    database = RDFDatabase(schema=dblp_schema(), bits=bits)
+    database.load_facts(DBLPGenerator(profile=profile, seed=seed).triples())
+    return database

@@ -1,0 +1,352 @@
+"""LUBM-style benchmark substrate: the Univ-Bench RDFS ontology + generator.
+
+The paper evaluates on LUBM [26] datasets of 1M and 100M triples.  LUBM
+couples (a) the *Univ-Bench* ontology — class and property hierarchies
+about universities — with (b) a synthetic data generator producing
+universities, departments, faculty, students, courses and publications.
+
+This module rebuilds both from scratch at laptop scale:
+
+* :func:`lubm_schema` — the RDFS fragment of Univ-Bench: 30+ classes
+  with the Professor/Faculty/Person and Article/Publication chains, and
+  the degreeFrom / memberOf / headOf subproperty structure the paper's
+  queries lean on;
+* :class:`LUBMGenerator` — a deterministic (seeded) generator emitting
+  only *most-specific* assertions (``FullProfessor``,
+  ``doctoralDegreeFrom`` ...), so query answering genuinely requires
+  reasoning, exactly as in LUBM.
+
+What matters for reproducing the paper is preserved: the *relative*
+cardinality profile (an enormous ``?x rdf:type ?y``, selective
+``degreeFrom <univ>``/``memberOf <dept>`` triples) and the
+reformulation fan-out of the class/property hierarchies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..rdf.schema import RDFSchema
+from ..rdf.terms import Literal, Triple, URI
+from ..rdf.vocabulary import RDF_TYPE
+
+#: Namespace of the Univ-Bench-style ontology.
+UB = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+
+def ub(local: str) -> URI:
+    """A term in the ontology namespace, e.g. ``ub("FullProfessor")``."""
+    return URI(UB + local)
+
+
+def university_uri(index: int) -> URI:
+    """The URI of university ``index`` (mirrors LUBM's www.UnivN.edu)."""
+    return URI(f"http://www.univ{index}.edu")
+
+
+def department_uri(university: int, department: int) -> URI:
+    """The URI of one department."""
+    return URI(f"http://www.univ{university}.edu/dept{department}")
+
+
+#: (subclass, superclass) pairs of the ontology.
+_SUBCLASSES = [
+    # People.
+    ("Employee", "Person"),
+    ("Student", "Person"),
+    ("Faculty", "Employee"),
+    ("AdministrativeStaff", "Employee"),
+    ("ClericalStaff", "AdministrativeStaff"),
+    ("SystemsStaff", "AdministrativeStaff"),
+    ("Professor", "Faculty"),
+    ("Lecturer", "Faculty"),
+    ("PostDoc", "Faculty"),
+    ("FullProfessor", "Professor"),
+    ("AssociateProfessor", "Professor"),
+    ("AssistantProfessor", "Professor"),
+    ("VisitingProfessor", "Professor"),
+    ("Chair", "Professor"),
+    ("Dean", "Professor"),
+    ("UndergraduateStudent", "Student"),
+    ("GraduateStudent", "Student"),
+    ("TeachingAssistant", "GraduateStudent"),
+    ("ResearchAssistant", "GraduateStudent"),
+    # Organizations.
+    ("University", "Organization"),
+    ("Department", "Organization"),
+    ("Institute", "Organization"),
+    ("College", "Organization"),
+    ("Program", "Organization"),
+    ("ResearchGroup", "Organization"),
+    # Work and publications.
+    ("Course", "Work"),
+    ("Research", "Work"),
+    ("GraduateCourse", "Course"),
+    ("Publication", "Work"),
+    ("Article", "Publication"),
+    ("Book", "Publication"),
+    ("Manual", "Publication"),
+    ("Software", "Publication"),
+    ("Specification", "Publication"),
+    ("UnofficialPublication", "Publication"),
+    ("JournalArticle", "Article"),
+    ("ConferencePaper", "Article"),
+    ("TechnicalReport", "Article"),
+]
+
+#: (subproperty, superproperty) pairs.
+_SUBPROPERTIES = [
+    ("worksFor", "memberOf"),
+    ("headOf", "worksFor"),
+    ("mastersDegreeFrom", "degreeFrom"),
+    ("doctoralDegreeFrom", "degreeFrom"),
+    ("undergraduateDegreeFrom", "degreeFrom"),
+    ("softwareDocumentation", "publicationResearch"),
+]
+
+#: property → (domain class | None, range class | None).
+#:
+#: Deliberately sparse, like the real Univ-Bench ontology: memberOf,
+#: worksFor and takesCourse carry no typing there (their typing comes
+#: from OWL inverses, outside RDFS), which is also what keeps the
+#: benchmark queries free of redundant triples (the paper's workload
+#: criterion (iv) — e.g. ``?x a ub:Student . ?x ub:takesCourse ?c``
+#: would be redundant if takesCourse declared a Student domain).
+_PROPERTY_TYPING = {
+    "memberOf": (None, None),
+    "worksFor": (None, None),
+    "headOf": ("Chair", "Department"),
+    "degreeFrom": ("Person", "University"),
+    "mastersDegreeFrom": ("Person", "University"),
+    "doctoralDegreeFrom": ("Person", "University"),
+    "undergraduateDegreeFrom": ("Person", "University"),
+    "teacherOf": ("Faculty", "Course"),
+    "takesCourse": (None, None),
+    "teachingAssistantOf": (None, "Course"),
+    "advisor": ("Person", "Professor"),
+    "publicationAuthor": (None, "Person"),
+    "publicationResearch": ("Publication", "Research"),
+    "subOrganizationOf": (None, "Organization"),
+    "researchInterest": ("Professor", None),
+    "name": (None, None),
+    "emailAddress": ("Person", None),
+    "telephone": ("Person", None),
+}
+
+
+def lubm_schema() -> RDFSchema:
+    """The Univ-Bench-style RDFS schema."""
+    schema = RDFSchema()
+    for sub, sup in _SUBCLASSES:
+        schema.add_subclass(ub(sub), ub(sup))
+    for sub, sup in _SUBPROPERTIES:
+        schema.add_subproperty(ub(sub), ub(sup))
+    for prop, (domain, range_) in _PROPERTY_TYPING.items():
+        if domain is not None:
+            schema.add_domain(ub(prop), ub(domain))
+        if range_ is not None:
+            schema.add_range(ub(prop), ub(range_))
+    return schema
+
+
+@dataclass(frozen=True)
+class LUBMProfile:
+    """Per-department population sizes (downscaled Univ-Bench profile)."""
+
+    departments_per_university: int = 4
+    full_professors: int = 4
+    associate_professors: int = 5
+    assistant_professors: int = 4
+    lecturers: int = 3
+    undergraduate_students: int = 60
+    graduate_students: int = 20
+    courses: int = 18
+    graduate_courses: int = 8
+    publications_per_professor: int = 4
+    research_groups: int = 3
+
+
+#: Default profile: one university ≈ 12-13k triples.
+DEFAULT_PROFILE = LUBMProfile()
+
+
+class LUBMGenerator:
+    """Deterministic generator of LUBM-style fact triples.
+
+    >>> triples = list(LUBMGenerator(universities=1, seed=7).triples())
+
+    Only *most-specific* classes and properties are asserted, so the
+    saturation of the output is strictly larger — the reasoning gap the
+    whole benchmark is about.
+    """
+
+    def __init__(
+        self,
+        universities: int = 1,
+        profile: LUBMProfile = DEFAULT_PROFILE,
+        seed: int = 0,
+    ):
+        self.universities = universities
+        self.profile = profile
+        self.seed = seed
+
+    def triples(self) -> Iterator[Triple]:
+        """Yield every fact triple of the configured dataset."""
+        for university in range(self.universities):
+            yield from self._university(university)
+
+    # ------------------------------------------------------------------
+    def _university(self, index: int) -> Iterator[Triple]:
+        rng = random.Random(f"{self.seed}:{index}")
+        profile = self.profile
+        univ = university_uri(index)
+        yield Triple(univ, RDF_TYPE, ub("University"))
+        yield Triple(univ, ub("name"), Literal(f"University{index}"))
+        for dept_index in range(profile.departments_per_university):
+            yield from self._department(rng, index, dept_index)
+
+    def _department(self, rng: random.Random, u: int, d: int) -> Iterator[Triple]:
+        profile = self.profile
+        dept = department_uri(u, d)
+        univ = university_uri(u)
+        base = f"http://www.univ{u}.edu/dept{d}/"
+        yield Triple(dept, RDF_TYPE, ub("Department"))
+        yield Triple(dept, ub("subOrganizationOf"), univ)
+        yield Triple(dept, ub("name"), Literal(f"Department{d}"))
+        for g in range(profile.research_groups):
+            group = URI(f"{base}group{g}")
+            yield Triple(group, RDF_TYPE, ub("ResearchGroup"))
+            yield Triple(group, ub("subOrganizationOf"), dept)
+
+        courses = [URI(f"{base}course{i}") for i in range(profile.courses)]
+        graduate_courses = [
+            URI(f"{base}gradcourse{i}") for i in range(profile.graduate_courses)
+        ]
+        for course in courses:
+            yield Triple(course, RDF_TYPE, ub("Course"))
+        for course in graduate_courses:
+            yield Triple(course, RDF_TYPE, ub("GraduateCourse"))
+        all_courses = courses + graduate_courses
+
+        faculty: List[URI] = []
+        ranks = (
+            [("FullProfessor", profile.full_professors)]
+            + [("AssociateProfessor", profile.associate_professors)]
+            + [("AssistantProfessor", profile.assistant_professors)]
+            + [("Lecturer", profile.lecturers)]
+        )
+        professors: List[URI] = []
+        publication_count = 0
+        for rank, how_many in ranks:
+            for i in range(how_many):
+                person = URI(f"{base}{rank.lower()}{i}")
+                faculty.append(person)
+                is_professor = rank != "Lecturer"
+                if is_professor:
+                    professors.append(person)
+                yield Triple(person, RDF_TYPE, ub(rank))
+                yield Triple(person, ub("worksFor"), dept)
+                yield Triple(person, ub("name"), Literal(f"{rank}{i}@{u}.{d}"))
+                yield Triple(
+                    person, ub("emailAddress"), Literal(f"{rank.lower()}{i}@univ{u}.edu")
+                )
+                yield Triple(
+                    person, ub("telephone"), Literal(f"+1-555-{u:02d}{d:02d}-{i:04d}")
+                )
+                # Degrees: doctoral/masters only for professor ranks.
+                yield Triple(
+                    person,
+                    ub("undergraduateDegreeFrom"),
+                    university_uri(rng.randrange(max(self.universities, 3))),
+                )
+                if is_professor:
+                    yield Triple(
+                        person,
+                        ub("mastersDegreeFrom"),
+                        university_uri(rng.randrange(max(self.universities, 3))),
+                    )
+                    yield Triple(
+                        person,
+                        ub("doctoralDegreeFrom"),
+                        university_uri(rng.randrange(max(self.universities, 3))),
+                    )
+                    yield Triple(
+                        person,
+                        ub("researchInterest"),
+                        Literal(f"Research{rng.randrange(30)}"),
+                    )
+                for course in rng.sample(all_courses, k=min(2, len(all_courses))):
+                    yield Triple(person, ub("teacherOf"), course)
+                if is_professor:
+                    for p in range(profile.publications_per_professor):
+                        publication = URI(f"{base}pub{publication_count}")
+                        publication_count += 1
+                        kind = rng.choice(
+                            ("JournalArticle", "ConferencePaper", "TechnicalReport",
+                             "Book", "UnofficialPublication")
+                        )
+                        yield Triple(publication, RDF_TYPE, ub(kind))
+                        yield Triple(publication, ub("publicationAuthor"), person)
+                        yield Triple(
+                            publication, ub("name"), Literal(f"Pub{u}.{d}.{publication_count}")
+                        )
+        # The department chair (also asserted with its own class).
+        chair = professors[0]
+        yield Triple(chair, RDF_TYPE, ub("Chair"))
+        yield Triple(chair, ub("headOf"), dept)
+
+        # Students.
+        for i in range(profile.undergraduate_students):
+            student = URI(f"{base}ugstudent{i}")
+            yield Triple(student, RDF_TYPE, ub("UndergraduateStudent"))
+            yield Triple(student, ub("memberOf"), dept)
+            yield Triple(student, ub("name"), Literal(f"UgStudent{i}@{u}.{d}"))
+            if i % 2 == 0:
+                yield Triple(
+                    student, ub("emailAddress"), Literal(f"ug{i}@univ{u}.edu")
+                )
+            for course in rng.sample(courses, k=min(3, len(courses))):
+                yield Triple(student, ub("takesCourse"), course)
+            if rng.random() < 0.15:
+                yield Triple(student, ub("advisor"), rng.choice(professors))
+        for i in range(profile.graduate_students):
+            student = URI(f"{base}gradstudent{i}")
+            # 1 in 5 graduate students works as a teaching assistant; the
+            # TA class is asserted *instead* (it is a subclass).
+            if i % 5 == 0 and graduate_courses:
+                yield Triple(student, RDF_TYPE, ub("TeachingAssistant"))
+                yield Triple(
+                    student, ub("teachingAssistantOf"), rng.choice(courses)
+                )
+            elif i % 7 == 0:
+                yield Triple(student, RDF_TYPE, ub("ResearchAssistant"))
+            else:
+                yield Triple(student, RDF_TYPE, ub("GraduateStudent"))
+            yield Triple(student, ub("memberOf"), dept)
+            yield Triple(student, ub("name"), Literal(f"GradStudent{i}@{u}.{d}"))
+            yield Triple(
+                student, ub("emailAddress"), Literal(f"grad{i}@univ{u}.edu")
+            )
+            yield Triple(
+                student,
+                ub("undergraduateDegreeFrom"),
+                university_uri(rng.randrange(max(self.universities, 3))),
+            )
+            yield Triple(student, ub("advisor"), rng.choice(professors))
+            for course in rng.sample(graduate_courses, k=min(2, len(graduate_courses))):
+                yield Triple(student, ub("takesCourse"), course)
+            # Some graduate students co-author a publication.
+            if rng.random() < 0.25 and publication_count:
+                publication = URI(f"{base}pub{rng.randrange(publication_count)}")
+                yield Triple(publication, ub("publicationAuthor"), student)
+
+
+def build_lubm_database(universities: int = 1, seed: int = 0, bits: int = 21):
+    """A ready :class:`~repro.storage.RDFDatabase` with LUBM-style content."""
+    from ..storage.database import RDFDatabase
+
+    database = RDFDatabase(schema=lubm_schema(), bits=bits)
+    database.load_facts(LUBMGenerator(universities=universities, seed=seed).triples())
+    return database

@@ -1,0 +1,345 @@
+"""The benchmark query workloads.
+
+Mirrors the paper's evaluation queries (Section 5.1, Table 4): 28 BGP
+queries over the LUBM-style dataset and 10 over the DBLP-style dataset,
+plus the two motivating-example queries ``q1`` and ``q2`` of Section 3.
+As in the paper, the queries are designed so that
+
+* they have an intuitive meaning;
+* they exhibit a variety of result cardinalities;
+* they exhibit a variety of reformulation sizes, some syntactically
+  huge (``?x rdf:type ?y`` atoms fan out over every class);
+* none of their triples is redundant w.r.t. the RDFS constraints.
+
+The LUBM constants (universities, departments, courses) refer to
+resources the generator emits deterministically, so every query is
+meaningful at any scale ≥ 3 universities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..query.bgp import BGPQuery
+from ..query.parser import parse_query
+from .dblp import DBLP
+from .lubm import UB
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One benchmark query with its identity and intent."""
+
+    name: str
+    query: BGPQuery
+    description: str
+
+
+_LUBM_PREFIX = f"PREFIX ub: <{UB}> "
+_DBLP_PREFIX = f"PREFIX d: <{DBLP}> "
+
+_UNIV0 = "<http://www.univ0.edu>"
+_UNIV1 = "<http://www.univ1.edu>"
+_UNIV2 = "<http://www.univ2.edu>"
+_DEPT0 = "<http://www.univ0.edu/dept0>"
+_DEPT1 = "<http://www.univ0.edu/dept1>"
+_COURSE0 = "<http://www.univ0.edu/dept0/course0>"
+_GRADCOURSE0 = "<http://www.univ0.edu/dept0/gradcourse0>"
+
+
+def _lubm(name: str, text: str, description: str) -> WorkloadQuery:
+    return WorkloadQuery(name, parse_query(_LUBM_PREFIX + text, name=name), description)
+
+
+def _dblp(name: str, text: str, description: str) -> WorkloadQuery:
+    return WorkloadQuery(name, parse_query(_DBLP_PREFIX + text, name=name), description)
+
+
+def motivating_q1() -> WorkloadQuery:
+    """Section 3, Motivating Example 1: the three-triple query ``q1``."""
+    return _lubm(
+        "q1",
+        "SELECT ?x ?y WHERE { ?x a ?y . "
+        f"?x ub:degreeFrom {_UNIV1} . ?x ub:memberOf {_DEPT0} }}",
+        "Typed resources with a degree from univ1 that are members of dept0 "
+        "(huge t1, selective t2/t3).",
+    )
+
+
+def motivating_q2() -> WorkloadQuery:
+    """Section 3, Motivating Example 2: the six-triple query ``q2``."""
+    return _lubm(
+        "q2",
+        "SELECT ?x ?u ?y ?v ?z WHERE { ?x a ?u . ?y a ?v . "
+        f"?x ub:mastersDegreeFrom {_UNIV0} . ?y ub:doctoralDegreeFrom {_UNIV0} . "
+        "?x ub:memberOf ?z . ?y ub:memberOf ?z }",
+        "Pairs of typed resources with specific degrees from univ0 sharing an "
+        "organization (two huge type atoms).",
+    )
+
+
+def lubm_workload() -> List[WorkloadQuery]:
+    """The 28 LUBM-style benchmark queries Q01-Q28."""
+    queries = [
+        _lubm(
+            "Q01",
+            f"SELECT ?x WHERE {{ ?x a ub:GraduateStudent . ?x ub:takesCourse {_GRADCOURSE0} }}",
+            "Graduate students taking a specific graduate course (LUBM #1 style; "
+            "GraduateStudent covers TAs and RAs).",
+        ),
+        _lubm(
+            "Q02",
+            "SELECT ?x ?y ?z WHERE { ?x a ub:GraduateStudent . "
+            "?z a ub:Department . ?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y . "
+            "?x ub:undergraduateDegreeFrom ?y }",
+            "The LUBM #2 triangle: grad students member of a department of their "
+            "alma mater (the redundant '?y a University' triple is removed, as "
+            "in the paper's modified benchmark queries).",
+        ),
+        _lubm(
+            "Q03",
+            "SELECT ?x WHERE { ?x a ub:Publication . "
+            "?x ub:publicationAuthor <http://www.univ0.edu/dept0/fullprofessor0> }",
+            "Publications of a specific professor (Publication fans out over 11 "
+            "subclasses).",
+        ),
+        _lubm(
+            "Q04",
+            f"SELECT ?x ?n ?e WHERE {{ ?x a ub:Professor . ?x ub:worksFor {_DEPT0} . "
+            "?x ub:name ?n . ?x ub:emailAddress ?e }",
+            "Professors of dept0 with contact data (Professor covers 6 ranks).",
+        ),
+        _lubm(
+            "Q05",
+            f"SELECT ?x WHERE {{ ?x a ub:Person . ?x ub:memberOf {_DEPT0} }}",
+            "All members of dept0 (Person is the widest class: 19 subclasses, "
+            "plus domain/range evidence).",
+        ),
+        _lubm(
+            "Q06",
+            "SELECT ?x WHERE { ?x a ub:Student . ?x ub:takesCourse ?c }",
+            "Students and what they take (large result, large reformulation).",
+        ),
+        _lubm(
+            "Q07",
+            f"SELECT ?x ?y WHERE {{ ?x a ub:Student . "
+            "?x ub:takesCourse ?y . "
+            "<http://www.univ0.edu/dept0/associateprofessor0> ub:teacherOf ?y }",
+            "Students of courses taught by a specific professor (LUBM #7 style; "
+            "the '?y a Course' triple is redundant w.r.t. teacherOf's range and "
+            "therefore removed).",
+        ),
+        _lubm(
+            "Q08",
+            f"SELECT ?x ?y ?e WHERE {{ ?x a ub:Student . ?y a ub:Department . "
+            f"?x ub:memberOf ?y . ?y ub:subOrganizationOf {_UNIV0} . "
+            "?x ub:emailAddress ?e }",
+            "Students of univ0's departments with email (LUBM #8 style).",
+        ),
+        _lubm(
+            "Q09",
+            "SELECT ?x ?y ?z WHERE { ?x a ?y . ?x ub:memberOf ?z }",
+            "Every typed resource and its organizations: the type atom alone "
+            "reformulates over the whole ontology (UCQ killer).",
+        ),
+        _lubm(
+            "Q10",
+            f"SELECT ?x WHERE {{ ?x a ub:Student . ?x ub:takesCourse {_GRADCOURSE0} }}",
+            "Students (any kind) of one graduate course (LUBM #10 style).",
+        ),
+        _lubm(
+            "Q11",
+            f"SELECT ?x WHERE {{ ?x a ub:ResearchGroup . ?x ub:subOrganizationOf {_UNIV0} }}",
+            "Research groups of univ0 (small, no-reasoning control query).",
+        ),
+        _lubm(
+            "Q12",
+            f"SELECT ?x ?y WHERE {{ ?x a ub:Chair . ?y a ub:Department . "
+            f"?x ub:worksFor ?y . ?y ub:subOrganizationOf {_UNIV0} }}",
+            "Department heads at univ0 (Chair membership needs headOf evidence).",
+        ),
+        _lubm(
+            "Q13",
+            f"SELECT ?x WHERE {{ ?x a ub:Employee . ?x ub:undergraduateDegreeFrom {_UNIV0} }}",
+            "Staff alumni of univ0 (wide class atom, selective degree atom; "
+            "Employee rather than Person keeps the type triple non-redundant "
+            "w.r.t. degreeFrom's Person domain).",
+        ),
+        _lubm(
+            "Q14",
+            "SELECT ?x WHERE { ?x a ub:UndergraduateStudent }",
+            "All undergraduates (LUBM #14: single atom, no reasoning needed).",
+        ),
+        _lubm(
+            "Q15",
+            "SELECT ?x ?y WHERE { ?x a ub:Faculty . ?x ub:degreeFrom ?y }",
+            "Faculty and all their degrees (both atoms fan out: Faculty has 8 "
+            "subclasses, degreeFrom has 3 subproperties).",
+        ),
+        _lubm(
+            "Q16",
+            "SELECT ?x ?y WHERE { ?x a ub:Employee . ?x ub:worksFor ?y }",
+            "Employees and employers (Employee covers the faculty and staff trees).",
+        ),
+        _lubm(
+            "Q17",
+            f"SELECT ?x WHERE {{ ?x a ub:Organization . ?x ub:subOrganizationOf {_UNIV1} }}",
+            "Organizations under univ1 (Organization covers 7 classes).",
+        ),
+        _lubm(
+            "Q18",
+            "SELECT ?x ?y ?z WHERE { ?x a ?y . ?x ub:degreeFrom ?z }",
+            "Typed resources and their degrees: two fan-out atoms joined "
+            "(another UCQ killer).",
+        ),
+        _lubm(
+            "Q19",
+            "SELECT ?x ?y WHERE { ?x a ?y . ?x ub:teacherOf ?z . ?z a ub:GraduateCourse }",
+            "Types of graduate-course teachers (type-var atom with selective join).",
+        ),
+        _lubm(
+            "Q20",
+            f"SELECT ?x ?y WHERE {{ ?x ub:advisor ?y . ?y ub:worksFor {_DEPT1} }}",
+            "Advisees of dept1 faculty (no class atoms; property reasoning only).",
+        ),
+        _lubm(
+            "Q21",
+            f"SELECT ?x ?y WHERE {{ ?x a ub:Publication . ?x ub:publicationAuthor ?y . "
+            f"?y ub:memberOf {_DEPT0} }}",
+            "Publications by members of dept0 (memberOf covers worksFor/headOf).",
+        ),
+        _lubm(
+            "Q22",
+            f"SELECT ?x WHERE {{ ?x ub:memberOf {_DEPT0} . ?x ub:undergraduateDegreeFrom {_UNIV2} }}",
+            "Members of dept0 who graduated from univ2 (selective star).",
+        ),
+        _lubm(
+            "Q23",
+            "SELECT ?x ?c ?d WHERE { ?x a ub:TeachingAssistant . "
+            "?x ub:teachingAssistantOf ?c . ?x ub:memberOf ?d }",
+            "Teaching assistants, their courses and departments.",
+        ),
+        _lubm(
+            "Q24",
+            f"SELECT ?x ?y WHERE {{ ?x a ub:Professor . ?x ub:doctoralDegreeFrom ?y . "
+            f"?x ub:worksFor {_DEPT0} }}",
+            "Where dept0's professors got their doctorates.",
+        ),
+        _lubm(
+            "Q25",
+            "SELECT ?p ?s WHERE { ?p a ub:Publication . ?p ub:publicationAuthor ?s . "
+            "?s a ub:GraduateStudent }",
+            "Publications co-authored by graduate students.",
+        ),
+        _lubm(
+            "Q26",
+            f"SELECT ?x ?y ?z WHERE {{ ?x ub:teacherOf ?y . "
+            "?z ub:takesCourse ?y . ?z a ub:Student }",
+            "Teachers, their courses, and the students in them (LUBM #9 core; "
+            "the '?x a Faculty' triple is redundant w.r.t. teacherOf's domain "
+            "and therefore removed).",
+        ),
+        _lubm(
+            "Q27",
+            f"SELECT ?x ?y WHERE {{ ?x ub:headOf ?y . ?y ub:subOrganizationOf {_UNIV0} . "
+            "?x ub:doctoralDegreeFrom ?z }",
+            "Heads of univ0 units and their doctoral universities (the "
+            "'?z a University' triple is redundant w.r.t. the degree range "
+            "and therefore removed).",
+        ),
+        _lubm(
+            "Q28",
+            "SELECT ?x ?y ?u ?v WHERE { ?x a ?u . ?y a ?v . ?x ub:advisor ?y . "
+            "?x ub:memberOf ?z . ?y ub:worksFor ?z }",
+            "Advisor pairs in the same organization with both types open: two "
+            "full-ontology fan-outs (the largest reformulation of the workload).",
+        ),
+    ]
+    assert len(queries) == 28
+    return queries
+
+
+def dblp_workload() -> List[WorkloadQuery]:
+    """The 10 DBLP-style benchmark queries Q01-Q10."""
+    person0 = "<http://dblp.example.org/person/0>"
+    journal0 = "<http://dblp.example.org/journal/0>"
+    queries = [
+        _dblp(
+            "Q01",
+            f"SELECT ?x WHERE {{ ?x a d:Publication . ?x d:author {person0} }}",
+            "All publications of the most prolific author (Publication has 9 "
+            "subclasses).",
+        ),
+        _dblp(
+            "Q02",
+            f"SELECT ?x ?t WHERE {{ ?x a d:Article . ?x d:journal {journal0} . "
+            "?x d:title ?t }",
+            "Articles of one journal with titles (narrow class, no fan-out).",
+        ),
+        _dblp(
+            "Q03",
+            "SELECT ?x ?y WHERE { ?x a d:Publication . ?x d:contributor ?y }",
+            "Every publication-contributor pair (contributor covers author and "
+            "editor; large result).",
+        ),
+        _dblp(
+            "Q04",
+            "SELECT ?x ?y WHERE { ?x a d:Thesis . ?x d:author ?y . ?y d:name ?n }",
+            "Theses and their named authors (Thesis covers PhD and Masters).",
+        ),
+        _dblp(
+            "Q05",
+            f"SELECT ?x ?y WHERE {{ ?x d:cite ?y . ?y a d:Article . ?y d:journal {journal0} }}",
+            "Citations into one journal.",
+        ),
+        _dblp(
+            "Q06",
+            "SELECT ?x ?v WHERE { ?x a ?v . ?x d:contributor "
+            f"{person0} }}",
+            "Everything person0 contributed to, typed (type-var fan-out).",
+        ),
+        _dblp(
+            "Q07",
+            "SELECT ?p ?q WHERE { ?p a d:Inproceedings . ?p d:crossref ?q . "
+            "?q a d:Proceedings . ?q d:editor ?e }",
+            "Conference papers with their edited proceedings volumes.",
+        ),
+        _dblp(
+            "Q08",
+            "SELECT ?x ?y ?t WHERE { ?x a ?y . ?x d:cite ?z . ?z d:title ?t }",
+            "Typed citing publications and cited titles (type-var with join).",
+        ),
+        _dblp(
+            "Q09",
+            "SELECT ?a ?b WHERE { ?x d:contributor ?a . ?x d:contributor ?b . "
+            "?x a d:Publication . ?a d:name ?na . ?b d:name ?nb }",
+            "Co-contributor pairs on any publication (5 atoms, self-join).",
+        ),
+        _dblp(
+            "Q10",
+            "SELECT ?x ?y ?a WHERE { ?x a ?u . ?x d:cite ?y . ?y a ?v . "
+            "?x d:contributor ?a . ?y d:contributor ?b . ?a d:name ?na . "
+            "?b d:name ?nb . ?x d:year ?yr . ?y d:title ?t . ?x d:title ?t2 }",
+            "A 10-atom citation-network query: the cover space is so large "
+            "that exhaustive ECov search is infeasible (paper Fig. 6/8).",
+        ),
+    ]
+    assert len(queries) == 10
+    return queries
+
+
+def lubm_query(name: str) -> BGPQuery:
+    """Look up one LUBM workload query by name (``q1``, ``q2``, ``Q01``...)."""
+    for entry in [motivating_q1(), motivating_q2()] + lubm_workload():
+        if entry.name == name:
+            return entry.query
+    raise KeyError(f"no LUBM workload query named {name!r}")
+
+
+def dblp_query(name: str) -> BGPQuery:
+    """Look up one DBLP workload query by name."""
+    for entry in dblp_workload():
+        if entry.name == name:
+            return entry.query
+    raise KeyError(f"no DBLP workload query named {name!r}")

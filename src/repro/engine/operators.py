@@ -1,0 +1,188 @@
+"""Physical operators: scan, join, union, duplicate elimination.
+
+These are the σ/π/⋈/∪ primitives the paper assumes of its evaluation
+engine ("any system capable of evaluating selections, projections,
+joins and unions").  Joins come in two flavours — hash(-partition) and
+sort-merge — both vectorized over the packed join keys; the two native
+engine personalities pick different flavours.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rdf.terms import Triple, Variable
+from ..storage.dictionary import Dictionary
+from ..storage.triple_table import TripleTable
+from .relation import Relation, dedup_rows, pack_columns
+
+
+def scan_atom(
+    atom: Triple, table: TripleTable, dictionary: Dictionary
+) -> Relation:
+    """Scan the triple table for an atom; columns are the atom's variables.
+
+    Constants are dictionary-encoded and pushed into the index lookup; a
+    constant unknown to the dictionary yields the empty relation
+    immediately.  A variable repeated inside the atom (e.g. ``x p x``)
+    becomes an equality selection.
+    """
+    pattern: List[Optional[int]] = []
+    var_positions: List[Tuple[str, int]] = []
+    for position, term in enumerate(atom):
+        if isinstance(term, Variable):
+            pattern.append(None)
+            var_positions.append((term.value, position))
+        else:
+            code = dictionary.lookup(term)
+            if code is None:
+                distinct = _distinct_names(var_positions, atom)
+                return Relation.empty(distinct)
+            pattern.append(code)
+    rows = table.match(tuple(pattern))
+    # Intra-atom equality selection for repeated variables.
+    seen: dict = {}
+    keep_mask = None
+    out_names: List[str] = []
+    out_positions: List[int] = []
+    for name, position in var_positions:
+        if name in seen:
+            condition = rows[:, position] == rows[:, seen[name]]
+            keep_mask = condition if keep_mask is None else (keep_mask & condition)
+        else:
+            seen[name] = position
+            out_names.append(name)
+            out_positions.append(position)
+    if keep_mask is not None:
+        rows = rows[keep_mask]
+    return Relation(out_names, rows[:, out_positions])
+
+
+def _distinct_names(var_positions, atom) -> List[str]:
+    names: List[str] = []
+    for name, _ in var_positions:
+        if name not in names:
+            names.append(name)
+    # Cover also variables we had not reached before bailing out.
+    for term in atom:
+        if isinstance(term, Variable) and term.value not in names:
+            names.append(term.value)
+    return names
+
+
+def _join_layout(left: Relation, right: Relation):
+    """Shared columns and the output layout of a natural join."""
+    shared = [c for c in left.columns if c in right.columns]
+    left_keys = [left.column_index(c) for c in shared]
+    right_keys = [right.column_index(c) for c in shared]
+    right_extra = [i for i, c in enumerate(right.columns) if c not in shared]
+    out_columns = left.columns + tuple(right.columns[i] for i in right_extra)
+    return shared, left_keys, right_keys, right_extra, out_columns
+
+
+def _emit_join(
+    left: Relation,
+    right: Relation,
+    left_idx: np.ndarray,
+    right_idx: np.ndarray,
+    right_extra: Sequence[int],
+    out_columns: Sequence[str],
+) -> Relation:
+    left_part = left.rows[left_idx]
+    right_part = right.rows[right_idx][:, list(right_extra)]
+    return Relation(out_columns, np.hstack([left_part, right_part]))
+
+
+def hash_join(left: Relation, right: Relation) -> Relation:
+    """Natural join on shared column names (vectorized hash-partition join)."""
+    shared, left_keys, right_keys, right_extra, out_columns = _join_layout(left, right)
+    if not shared:
+        return cross_product(left, right)
+    if len(left) == 0 or len(right) == 0:
+        return Relation.empty(out_columns)
+    # Factorize both key sets over a shared codomain so equal tuples get
+    # equal codes: concatenate, pack, split.
+    combined = np.vstack(
+        [left.rows[:, left_keys], right.rows[:, right_keys]]
+    )
+    keys = pack_columns(combined, range(len(shared)))
+    left_hash, right_hash = keys[: len(left)], keys[len(left) :]
+    order = np.argsort(right_hash, kind="stable")
+    sorted_right = right_hash[order]
+    lo = np.searchsorted(sorted_right, left_hash, side="left")
+    hi = np.searchsorted(sorted_right, left_hash, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return Relation.empty(out_columns)
+    left_idx = np.repeat(np.arange(len(left)), counts)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    right_pos = np.arange(total) - np.repeat(starts, counts) + np.repeat(lo, counts)
+    right_idx = order[right_pos]
+    return _emit_join(left, right, left_idx, right_idx, right_extra, out_columns)
+
+
+def merge_join(left: Relation, right: Relation) -> Relation:
+    """Natural join via sorting *both* inputs (the merge-join personality).
+
+    Produces the same result as :func:`hash_join`; it differs in the
+    work profile (two sorts instead of one), which the engine
+    personalities expose as different calibrated constants.
+    """
+    shared, left_keys, right_keys, right_extra, out_columns = _join_layout(left, right)
+    if not shared:
+        return cross_product(left, right)
+    if len(left) == 0 or len(right) == 0:
+        return Relation.empty(out_columns)
+    combined = np.vstack([left.rows[:, left_keys], right.rows[:, right_keys]])
+    keys = pack_columns(combined, range(len(shared)))
+    left_hash, right_hash = keys[: len(left)], keys[len(left) :]
+    left_order = np.argsort(left_hash, kind="stable")
+    right_order = np.argsort(right_hash, kind="stable")
+    sorted_left = left_hash[left_order]
+    sorted_right = right_hash[right_order]
+    lo = np.searchsorted(sorted_right, sorted_left, side="left")
+    hi = np.searchsorted(sorted_right, sorted_left, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return Relation.empty(out_columns)
+    left_idx = left_order[np.repeat(np.arange(len(left)), counts)]
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    right_pos = np.arange(total) - np.repeat(starts, counts) + np.repeat(lo, counts)
+    right_idx = right_order[right_pos]
+    return _emit_join(left, right, left_idx, right_idx, right_extra, out_columns)
+
+
+def cross_product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product (reached only by disconnected queries)."""
+    out_columns = left.columns + right.columns
+    if len(left) == 0 or len(right) == 0:
+        return Relation.empty(out_columns)
+    left_idx = np.repeat(np.arange(len(left)), len(right))
+    right_idx = np.tile(np.arange(len(right)), len(left))
+    return Relation(
+        out_columns, np.hstack([left.rows[left_idx], right.rows[right_idx]])
+    )
+
+
+def union_all(relations: Sequence[Relation], columns: Sequence[str]) -> Relation:
+    """Bag union of positionally-aligned relations."""
+    columns = tuple(columns)
+    arity = len(columns)
+    stacks = [r.rows for r in relations if len(r) > 0]
+    for relation in relations:
+        if relation.arity != arity:
+            raise ValueError(
+                f"union arity mismatch: {relation.columns} vs {columns}"
+            )
+    if not stacks:
+        return Relation.empty(columns)
+    return Relation(columns, np.vstack(stacks))
+
+
+def distinct(relation: Relation) -> Relation:
+    """Duplicate elimination (the paper's ``c_unique`` operation)."""
+    return Relation(relation.columns, dedup_rows(relation.rows))

@@ -1,0 +1,121 @@
+"""Column-named integer relations — the tuples flowing between operators.
+
+A :class:`Relation` is an ``(n, k)`` int64 array plus ``k`` column
+names.  All engine-internal values are dictionary codes; decoding back
+to RDF terms happens once, at the answering layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class Relation:
+    """An immutable named-column table of int64 codes."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[str], rows: np.ndarray):
+        columns = tuple(columns)
+        if rows.ndim != 2 or rows.shape[1] != len(columns):
+            raise ValueError(
+                f"rows shape {rows.shape} does not match {len(columns)} columns"
+            )
+        self.columns: Tuple[str, ...] = columns
+        self.rows = rows
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Relation":
+        """A relation with the given columns and no rows."""
+        return cls(columns, np.empty((0, len(tuple(columns))), dtype=np.int64))
+
+    @classmethod
+    def single_row(cls, columns: Sequence[str], values: Sequence[int]) -> "Relation":
+        """A one-row relation (used for constant/empty-body conjuncts)."""
+        return cls(columns, np.array([list(values)], dtype=np.int64))
+
+    @classmethod
+    def unit(cls) -> "Relation":
+        """The zero-column, one-row relation (join identity)."""
+        return cls((), np.empty((1, 0), dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        """Position of a column by name."""
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {self.columns}") from None
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a 1-D array."""
+        return self.rows[:, self.column_index(name)]
+
+    # ------------------------------------------------------------------
+    # Basic transformations
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Keep the given columns, in the given order (may repeat)."""
+        idx = [self.column_index(n) for n in names]
+        return Relation(tuple(names), self.rows[:, idx])
+
+    def rename(self, names: Sequence[str]) -> "Relation":
+        """Same data under new column names."""
+        return Relation(names, self.rows)
+
+    def to_tuples(self) -> List[Tuple[int, ...]]:
+        """Rows as Python tuples (for the decode boundary and tests)."""
+        return [tuple(row) for row in self.rows.tolist()]
+
+    def __repr__(self) -> str:
+        return f"Relation(cols={self.columns}, rows={len(self)})"
+
+
+def pack_columns(rows: np.ndarray, col_indices: Sequence[int]) -> np.ndarray:
+    """Collapse selected columns into one int64 key per row.
+
+    Keys are equal iff the column tuples are equal.  Built by iterated
+    factorization (``np.unique`` inverse codes), so it is safe for any
+    number of columns and any value magnitudes.
+    """
+    if rows.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    if not col_indices:
+        return np.zeros(rows.shape[0], dtype=np.int64)
+    keys = None
+    for index in col_indices:
+        column = rows[:, index]
+        if keys is None:
+            keys = column.astype(np.int64, copy=True)
+            continue
+        _, keys = np.unique(keys, return_inverse=True)
+        _, col_codes = np.unique(column, return_inverse=True)
+        width = int(col_codes.max()) + 1
+        keys = keys * width + col_codes
+    return keys
+
+
+def dedup_rows(rows: np.ndarray) -> np.ndarray:
+    """Distinct rows of a 2-D array (order not preserved)."""
+    if rows.shape[0] <= 1:
+        return rows
+    if rows.shape[1] == 0:
+        return rows[:1]
+    keys = pack_columns(rows, range(rows.shape[1]))
+    _, first_positions = np.unique(keys, return_index=True)
+    return rows[np.sort(first_positions)]

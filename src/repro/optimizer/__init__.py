@@ -1,0 +1,14 @@
+"""Cover-space search: exhaustive (ECov) and greedy anytime (GCov)."""
+
+from .ecov import ecov
+from .gcov import gcov
+from .search import CostFunction, CoverScorer, CoverSearchResult, SearchInfeasible
+
+__all__ = [
+    "CostFunction",
+    "CoverScorer",
+    "CoverSearchResult",
+    "SearchInfeasible",
+    "ecov",
+    "gcov",
+]

@@ -1,0 +1,23 @@
+"""Query model: BGP conjunctive queries, UCQ/JUCQ algebra, parser."""
+
+from .algebra import JUCQ, UCQ, cq_as_ucq, ucq_as_jucq
+from .bgp import BGPQuery, Substitution, apply_substitution, substitute_triple
+from .naive import evaluate, evaluate_cq, evaluate_jucq, evaluate_ucq
+from .parser import SPARQLSyntaxError, parse_query
+
+__all__ = [
+    "BGPQuery",
+    "JUCQ",
+    "SPARQLSyntaxError",
+    "Substitution",
+    "UCQ",
+    "apply_substitution",
+    "cq_as_ucq",
+    "evaluate",
+    "evaluate_cq",
+    "evaluate_jucq",
+    "evaluate_ucq",
+    "parse_query",
+    "substitute_triple",
+    "ucq_as_jucq",
+]

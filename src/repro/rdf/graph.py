@@ -1,0 +1,154 @@
+"""In-memory RDF graphs with pattern matching.
+
+:class:`RDFGraph` is the light substrate used by the reasoner, the
+loaders and the test suite; the heavy, dictionary-encoded store that
+plays the role of the RDBMS lives in :mod:`repro.storage`.
+
+The graph maintains hash indexes on each triple position so that
+``triples(s, p, o)`` lookups with any combination of bound positions
+stay proportional to the result size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from .terms import Term, Triple
+from .vocabulary import SCHEMA_PROPERTIES
+
+
+class RDFGraph:
+    """A mutable set of ground RDF triples with positional indexes."""
+
+    def __init__(self, triples: Optional[Iterable[Triple]] = None) -> None:
+        self._triples: Set[Triple] = set()
+        self._by_s: Dict[Term, Set[Triple]] = {}
+        self._by_p: Dict[Term, Set[Triple]] = {}
+        self._by_o: Dict[Term, Set[Triple]] = {}
+        if triples is not None:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> bool:
+        """Insert a ground triple; returns True when it was new."""
+        if not triple.is_ground:
+            raise ValueError(f"cannot store non-ground triple {triple}")
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_s.setdefault(triple.s, set()).add(triple)
+        self._by_p.setdefault(triple.p, set()).add(triple)
+        self._by_o.setdefault(triple.o, set()).add(triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for t in triples if self.add(t))
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove a triple if present; returns True when it was there."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        for index, key in (
+            (self._by_s, triple.s),
+            (self._by_p, triple.p),
+            (self._by_o, triple.o),
+        ):
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(triple)
+                if not bucket:
+                    del index[key]
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def triples(
+        self,
+        s: Optional[Term] = None,
+        p: Optional[Term] = None,
+        o: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the pattern; ``None`` is a wildcard.
+
+        The lookup starts from the smallest available index bucket and
+        filters on the remaining bound positions.
+        """
+        candidates: Optional[Set[Triple]] = None
+        for index, key in ((self._by_s, s), (self._by_p, p), (self._by_o, o)):
+            if key is None:
+                continue
+            bucket = index.get(key)
+            if bucket is None:
+                return
+            if candidates is None or len(bucket) < len(candidates):
+                candidates = bucket
+        if candidates is None:
+            candidates = self._triples
+        for triple in candidates:
+            if s is not None and triple.s != s:
+                continue
+            if p is not None and triple.p != p:
+                continue
+            if o is not None and triple.o != o:
+                continue
+            yield triple
+
+    def subjects(self, p: Optional[Term] = None, o: Optional[Term] = None):
+        """Distinct subjects of triples matching ``(?, p, o)``."""
+        return {t.s for t in self.triples(None, p, o)}
+
+    def objects(self, s: Optional[Term] = None, p: Optional[Term] = None):
+        """Distinct objects of triples matching ``(s, p, ?)``."""
+        return {t.o for t in self.triples(s, p, None)}
+
+    def predicates(self) -> Set[Term]:
+        """Distinct properties used in the graph."""
+        return set(self._by_p)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def schema_triples(self) -> Iterator[Triple]:
+        """The constraint triples stored in the graph."""
+        for prop in SCHEMA_PROPERTIES:
+            yield from self._by_p.get(prop, ())
+
+    def data_triples(self) -> Iterator[Triple]:
+        """The non-constraint (fact) triples stored in the graph."""
+        for triple in self._triples:
+            if triple.p not in SCHEMA_PROPERTIES:
+                yield triple
+
+    def copy(self) -> "RDFGraph":
+        """An independent copy of the graph."""
+        return RDFGraph(self._triples)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RDFGraph) and self._triples == other._triples
+
+    def __repr__(self) -> str:
+        return f"RDFGraph({len(self)} triples)"
+
+    def values(self) -> Set[Term]:
+        """``Val(G)``: every URI, blank node and literal in the graph."""
+        seen: Set[Term] = set()
+        for triple in self._triples:
+            seen.update(triple.terms())
+        return seen

@@ -1,0 +1,132 @@
+"""Reader/writer for the N-Triples subset used by the project.
+
+Supports ``<uri>``, ``_:blank`` and ``"literal"`` terms (with the
+standard string escapes), ``#`` comments and blank lines.  This is
+enough to round-trip every graph the generators produce and to load
+externally produced N-Triples fact files.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, TextIO, Union
+
+from .graph import RDFGraph
+from .terms import BlankNode, Literal, Term, Triple, URI
+
+
+class NTriplesError(ValueError):
+    """Raised on malformed N-Triples input, with line information."""
+
+    def __init__(self, message: str, line_number: int, line: str):
+        super().__init__(f"line {line_number}: {message}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+
+
+def _parse_term(text: str, position: int, line_number: int, line: str):
+    """Parse one term starting at ``position``; returns ``(term, next_pos)``."""
+    while position < len(text) and text[position] in " \t":
+        position += 1
+    if position >= len(text):
+        raise NTriplesError("unexpected end of line", line_number, line)
+    head = text[position]
+    if head == "<":
+        end = text.find(">", position)
+        if end < 0:
+            raise NTriplesError("unterminated URI", line_number, line)
+        return URI(text[position + 1 : end]), end + 1
+    if head == "_":
+        if text[position : position + 2] != "_:":
+            raise NTriplesError("malformed blank node", line_number, line)
+        end = position + 2
+        while end < len(text) and text[end] not in " \t.":
+            end += 1
+        label = text[position + 2 : end]
+        if not label:
+            raise NTriplesError("empty blank node label", line_number, line)
+        return BlankNode(label), end
+    if head == '"':
+        chars = []
+        cursor = position + 1
+        while cursor < len(text):
+            ch = text[cursor]
+            if ch == "\\":
+                if cursor + 1 >= len(text):
+                    raise NTriplesError("dangling escape", line_number, line)
+                escape = text[cursor + 1]
+                if escape not in _ESCAPES:
+                    raise NTriplesError(f"unknown escape \\{escape}", line_number, line)
+                chars.append(_ESCAPES[escape])
+                cursor += 2
+                continue
+            if ch == '"':
+                literal_end = cursor + 1
+                # Skip any datatype/lang suffix (^^<...> or @xx): collapse to plain.
+                while literal_end < len(text) and text[literal_end] not in " \t.":
+                    literal_end += 1
+                return Literal("".join(chars) or " "), literal_end
+            chars.append(ch)
+            cursor += 1
+        raise NTriplesError("unterminated literal", line_number, line)
+    raise NTriplesError(f"unexpected character {head!r}", line_number, line)
+
+
+def parse_line(line: str, line_number: int = 0) -> Triple:
+    """Parse one N-Triples statement line into a :class:`Triple`."""
+    s, position = _parse_term(line, 0, line_number, line)
+    p, position = _parse_term(line, position, line_number, line)
+    o, position = _parse_term(line, position, line_number, line)
+    rest = line[position:].strip()
+    if rest != ".":
+        raise NTriplesError("expected terminating '.'", line_number, line)
+    return Triple(s, p, o)
+
+
+def read_ntriples(source: Union[str, TextIO]) -> Iterator[Triple]:
+    """Yield triples from an N-Triples string or open text stream."""
+    stream: TextIO = io.StringIO(source) if isinstance(source, str) else source
+    for line_number, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_line(stripped, line_number)
+
+
+def load_graph(source: Union[str, TextIO]) -> RDFGraph:
+    """Parse N-Triples input into an :class:`RDFGraph`."""
+    return RDFGraph(read_ntriples(source))
+
+
+def _serialize_term(term: Term) -> str:
+    if isinstance(term, (URI, Literal, BlankNode)):
+        return term.n3()
+    raise TypeError(f"cannot serialize {type(term).__name__} in N-Triples")
+
+
+def serialize_triple(triple: Triple) -> str:
+    """One N-Triples statement line (without the newline)."""
+    return (
+        f"{_serialize_term(triple.s)} {_serialize_term(triple.p)} "
+        f"{_serialize_term(triple.o)} ."
+    )
+
+
+def write_ntriples(triples: Iterable[Triple], sink: TextIO) -> int:
+    """Write triples in N-Triples syntax; returns the number written."""
+    count = 0
+    for triple in triples:
+        sink.write(serialize_triple(triple))
+        sink.write("\n")
+        count += 1
+    return count
+
+
+def dump_graph(graph: RDFGraph) -> str:
+    """Serialize a graph to an N-Triples string (sorted, deterministic)."""
+    buffer = io.StringIO()
+    write_ntriples(sorted(graph), buffer)
+    return buffer.getvalue()

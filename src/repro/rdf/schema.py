@@ -1,0 +1,312 @@
+"""RDF Schema constraints and their closure.
+
+An :class:`RDFSchema` holds the four constraint kinds of the paper's
+Figure 2 (bottom): subclass, subproperty, domain and range.  Following
+the paper's experimental setup (Section 5.1: "RDFS constraints are kept
+in memory, while RDF facts are stored in a Triples(s,p,o) table"), the
+schema is a standalone in-memory object shared by the saturation engine
+and the reformulation algorithm.
+
+The *closure* of the schema is its saturation under the schema-level
+entailment rules of the DB fragment:
+
+* subclass and subproperty transitivity (rdfs11, rdfs5);
+* domain/range inheritance along subproperties
+  (``p ⊑sp p', domain(p') = c  ⟹  domain(p) = c``);
+* domain/range widening along subclasses
+  (``domain(p) = c, c ⊑sc c'  ⟹  domain(p) = c'``).
+
+Both saturation and reformulation consult the closure, which guarantees
+they agree (the golden equivalence tested in
+``tests/test_reformulation_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set
+
+from .terms import Term, Triple, URI
+from .vocabulary import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    SCHEMA_PROPERTIES,
+)
+
+
+def _transitive_closure(direct: Dict[Term, Set[Term]]) -> Dict[Term, Set[Term]]:
+    """Strict transitive closure of a binary relation given as adjacency sets."""
+    closure: Dict[Term, Set[Term]] = {}
+    for start in direct:
+        seen: Set[Term] = set()
+        stack = list(direct.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(direct.get(node, ()))
+        closure[start] = seen
+    return closure
+
+
+def _invert(relation: Dict[Term, Set[Term]]) -> Dict[Term, Set[Term]]:
+    """Invert a binary relation given as adjacency sets."""
+    inverse: Dict[Term, Set[Term]] = {}
+    for source, targets in relation.items():
+        for target in targets:
+            inverse.setdefault(target, set()).add(source)
+    return inverse
+
+
+class RDFSchema:
+    """The RDFS constraints of an RDF database, with lazily computed closure.
+
+    Mutators (:meth:`add_subclass` etc.) invalidate the cached closure;
+    all query methods recompute it on demand.  Closure-level accessors
+    always work on the *closed* relations, which is what both the
+    saturation rules and the reformulation rules require.
+    """
+
+    def __init__(self) -> None:
+        # Direct (asserted) relations.
+        self._subclass: Dict[Term, Set[Term]] = {}
+        self._subproperty: Dict[Term, Set[Term]] = {}
+        self._domain: Dict[Term, Set[Term]] = {}
+        self._range: Dict[Term, Set[Term]] = {}
+        self._declared_classes: Set[Term] = set()
+        self._declared_properties: Set[Term] = set()
+        self._closure: Optional[_SchemaClosure] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_subclass(self, sub: Term, sup: Term) -> None:
+        """Assert ``sub rdfs:subClassOf sup``."""
+        self._subclass.setdefault(sub, set()).add(sup)
+        self._declared_classes.update((sub, sup))
+        self._closure = None
+
+    def add_subproperty(self, sub: Term, sup: Term) -> None:
+        """Assert ``sub rdfs:subPropertyOf sup``."""
+        self._subproperty.setdefault(sub, set()).add(sup)
+        self._declared_properties.update((sub, sup))
+        self._closure = None
+
+    def add_domain(self, prop: Term, cls: Term) -> None:
+        """Assert ``prop rdfs:domain cls``."""
+        self._domain.setdefault(prop, set()).add(cls)
+        self._declared_properties.add(prop)
+        self._declared_classes.add(cls)
+        self._closure = None
+
+    def add_range(self, prop: Term, cls: Term) -> None:
+        """Assert ``prop rdfs:range cls``."""
+        self._range.setdefault(prop, set()).add(cls)
+        self._declared_properties.add(prop)
+        self._declared_classes.add(cls)
+        self._closure = None
+
+    def declare_class(self, cls: Term) -> None:
+        """Register a class not otherwise mentioned in a constraint."""
+        self._declared_classes.add(cls)
+        self._closure = None
+
+    def declare_property(self, prop: Term) -> None:
+        """Register a property not otherwise mentioned in a constraint."""
+        self._declared_properties.add(prop)
+        self._closure = None
+
+    def add_triple(self, triple: Triple) -> bool:
+        """Add a schema triple; returns False when the triple is not a constraint."""
+        if triple.p == RDFS_SUBCLASS:
+            self.add_subclass(triple.s, triple.o)
+        elif triple.p == RDFS_SUBPROPERTY:
+            self.add_subproperty(triple.s, triple.o)
+        elif triple.p == RDFS_DOMAIN:
+            self.add_domain(triple.s, triple.o)
+        elif triple.p == RDFS_RANGE:
+            self.add_range(triple.s, triple.o)
+        else:
+            return False
+        return True
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "RDFSchema":
+        """Build a schema from the constraint triples in ``triples``.
+
+        Non-constraint triples are ignored, so feeding a whole graph is
+        safe; pair with :func:`split_graph` to also recover the facts.
+        """
+        schema = cls()
+        for triple in triples:
+            schema.add_triple(triple)
+        return schema
+
+    def to_triples(self) -> Iterator[Triple]:
+        """Yield the asserted (non-closed) constraint triples."""
+        for relation, prop in (
+            (self._subclass, RDFS_SUBCLASS),
+            (self._subproperty, RDFS_SUBPROPERTY),
+            (self._domain, RDFS_DOMAIN),
+            (self._range, RDFS_RANGE),
+        ):
+            for source in sorted(relation):
+                for target in sorted(relation[source]):
+                    yield Triple(source, prop, target)
+
+    # ------------------------------------------------------------------
+    # Vocabulary
+    # ------------------------------------------------------------------
+    @property
+    def classes(self) -> FrozenSet[Term]:
+        """All classes known to the schema."""
+        return self._closed().classes
+
+    @property
+    def properties(self) -> FrozenSet[Term]:
+        """All (non-built-in) properties known to the schema."""
+        return self._closed().properties
+
+    # ------------------------------------------------------------------
+    # Closure queries (all answers are w.r.t. the schema closure)
+    # ------------------------------------------------------------------
+    def subclasses(self, cls: Term) -> FrozenSet[Term]:
+        """Strict subclasses of ``cls`` in the closure."""
+        return frozenset(self._closed().sub_of_class.get(cls, frozenset()))
+
+    def superclasses(self, cls: Term) -> FrozenSet[Term]:
+        """Strict superclasses of ``cls`` in the closure."""
+        return frozenset(self._closed().super_of_class.get(cls, frozenset()))
+
+    def subproperties(self, prop: Term) -> FrozenSet[Term]:
+        """Strict subproperties of ``prop`` in the closure."""
+        return frozenset(self._closed().sub_of_property.get(prop, frozenset()))
+
+    def superproperties(self, prop: Term) -> FrozenSet[Term]:
+        """Strict superproperties of ``prop`` in the closure."""
+        return frozenset(self._closed().super_of_property.get(prop, frozenset()))
+
+    def domains(self, prop: Term) -> FrozenSet[Term]:
+        """All classes ``c`` with ``domain(prop) = c`` in the closure."""
+        return frozenset(self._closed().domains.get(prop, frozenset()))
+
+    def ranges(self, prop: Term) -> FrozenSet[Term]:
+        """All classes ``c`` with ``range(prop) = c`` in the closure."""
+        return frozenset(self._closed().ranges.get(prop, frozenset()))
+
+    def properties_with_domain(self, cls: Term) -> FrozenSet[Term]:
+        """Properties whose closed domain includes ``cls``."""
+        return frozenset(self._closed().domain_of.get(cls, frozenset()))
+
+    def properties_with_range(self, cls: Term) -> FrozenSet[Term]:
+        """Properties whose closed range includes ``cls``."""
+        return frozenset(self._closed().range_of.get(cls, frozenset()))
+
+    def is_subclass(self, sub: Term, sup: Term) -> bool:
+        """True when ``sub ⊑sc sup`` holds in the closure (strictly)."""
+        return sup in self._closed().super_of_class.get(sub, frozenset())
+
+    def is_subproperty(self, sub: Term, sup: Term) -> bool:
+        """True when ``sub ⊑sp sup`` holds in the closure (strictly)."""
+        return sup in self._closed().super_of_property.get(sub, frozenset())
+
+    def closure_triples(self) -> Iterator[Triple]:
+        """Yield every constraint triple in the schema closure.
+
+        Used to answer query atoms over the schema itself (reformulation
+        rules 8-11 of DESIGN.md) and by the saturation engine when the
+        caller wants schema triples materialized alongside facts.
+        """
+        closed = self._closed()
+        for source, targets in closed.super_of_class.items():
+            for target in targets:
+                yield Triple(source, RDFS_SUBCLASS, target)
+        for source, targets in closed.super_of_property.items():
+            for target in targets:
+                yield Triple(source, RDFS_SUBPROPERTY, target)
+        for prop, classes in closed.domains.items():
+            for cls in classes:
+                yield Triple(prop, RDFS_DOMAIN, cls)
+        for prop, classes in closed.ranges.items():
+            for cls in classes:
+                yield Triple(prop, RDFS_RANGE, cls)
+
+    def __len__(self) -> int:
+        """Number of asserted constraint triples."""
+        return sum(
+            len(targets)
+            for relation in (self._subclass, self._subproperty, self._domain, self._range)
+            for targets in relation.values()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RDFSchema(classes={len(self.classes)}, properties={len(self.properties)}, "
+            f"constraints={len(self)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Closure computation
+    # ------------------------------------------------------------------
+    def _closed(self) -> "_SchemaClosure":
+        if self._closure is None:
+            self._closure = _SchemaClosure(self)
+        return self._closure
+
+
+class _SchemaClosure:
+    """Materialized closure relations of one :class:`RDFSchema` snapshot."""
+
+    def __init__(self, schema: RDFSchema) -> None:
+        super_of_class = _transitive_closure(schema._subclass)
+        super_of_property = _transitive_closure(schema._subproperty)
+
+        # Close domains/ranges: inherit down the subproperty hierarchy,
+        # widen up the subclass hierarchy.
+        domains: Dict[Term, Set[Term]] = {}
+        ranges: Dict[Term, Set[Term]] = {}
+        properties = set(schema._declared_properties)
+        for prop in properties:
+            ancestors = {prop} | super_of_property.get(prop, set())
+            for target, source in ((domains, schema._domain), (ranges, schema._range)):
+                closed: Set[Term] = set()
+                for ancestor in ancestors:
+                    for cls in source.get(ancestor, ()):
+                        closed.add(cls)
+                        closed.update(super_of_class.get(cls, ()))
+                if closed:
+                    target[prop] = closed
+
+        self.super_of_class = super_of_class
+        self.sub_of_class = _invert(super_of_class)
+        self.super_of_property = super_of_property
+        self.sub_of_property = _invert(super_of_property)
+        self.domains = domains
+        self.ranges = ranges
+        self.domain_of = _invert(domains)
+        self.range_of = _invert(ranges)
+        self.classes = frozenset(schema._declared_classes)
+        self.properties = frozenset(schema._declared_properties)
+
+
+def split_graph(triples: Iterable[Triple]):
+    """Separate an RDF graph into ``(schema, facts)``.
+
+    Constraint triples (property in :data:`SCHEMA_PROPERTIES`) populate
+    an :class:`RDFSchema`; every other triple — including ``rdf:type``
+    assertions — is a fact.  Mirrors the paper's storage layout.
+    """
+    schema = RDFSchema()
+    facts = []
+    for triple in triples:
+        if isinstance(triple.p, URI) and triple.p in SCHEMA_PROPERTIES:
+            schema.add_triple(triple)
+        else:
+            facts.append(triple)
+    return schema, facts
+
+
+__all__ = ["RDFSchema", "split_graph", "RDF_TYPE"]

@@ -1,0 +1,14 @@
+"""RDF entailment: immediate rules, saturation, counting maintenance."""
+
+from .counting import CountingSaturator
+from .rules import entail_from_triple, explain_entailment
+from .saturation import IncrementalSaturator, saturate, saturate_in_place
+
+__all__ = [
+    "CountingSaturator",
+    "IncrementalSaturator",
+    "entail_from_triple",
+    "explain_entailment",
+    "saturate",
+    "saturate_in_place",
+]

@@ -1,0 +1,70 @@
+"""Cover-based JUCQ reformulations (paper Theorem 3.1).
+
+Given a BGP query ``q`` and one of its covers ``C = {f1, ..., fm}``,
+the JUCQ reformulation is ``q_JUCQ(x̄) :- q_f1^UCQ ⋈ ... ⋈ q_fm^UCQ``
+where each ``q_fi^UCQ`` is the CQ → UCQ reformulation of the cover
+query of fragment ``fi``.  Theorem 3.1: evaluating this JUCQ over the
+non-saturated database yields ``q``'s answer set.
+
+The two classic strategies fall out as special covers:
+
+* **UCQ**  — the single-fragment cover (all unions pushed below one
+  big union; prior work [4, 6, 10, ...]);
+* **SCQ**  — the all-singletons cover (all unions pushed below the
+  joins; [13]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..query.algebra import JUCQ, UCQ, ucq_as_jucq
+from ..query.bgp import BGPQuery
+from .covers import Cover, cover_queries, scq_cover, ucq_cover, validate_cover
+from .reformulate import Reformulator
+
+
+def jucq_for_cover(
+    query: BGPQuery,
+    cover: Cover,
+    reformulator: Reformulator,
+    validate: bool = True,
+) -> JUCQ:
+    """Build the cover-based JUCQ reformulation of ``query`` for ``cover``."""
+    if validate:
+        validate_cover(query, cover)
+    operands = [
+        reformulator.reformulate(cq) for cq in cover_queries(query, cover)
+    ]
+    return JUCQ(query.head, operands, name=f"{query.name}_jucq")
+
+
+def ucq_reformulation(query: BGPQuery, reformulator: Reformulator) -> UCQ:
+    """The classic single-union reformulation ``q_ref`` of ``query``."""
+    return reformulator.reformulate(query)
+
+
+def ucq_reformulation_as_jucq(
+    query: BGPQuery, reformulator: Reformulator
+) -> JUCQ:
+    """``q_ref`` wrapped as a one-operand JUCQ (for uniform execution)."""
+    return ucq_as_jucq(ucq_reformulation(query, reformulator))
+
+
+def scq_reformulation(query: BGPQuery, reformulator: Reformulator) -> JUCQ:
+    """The SCQ reformulation of [13]: per-atom unions joined together."""
+    return jucq_for_cover(query, scq_cover(query), reformulator)
+
+
+def reformulation_size(jucq: JUCQ) -> int:
+    """The paper's "#reformulations" figure: total union terms in the JUCQ."""
+    return jucq.total_union_terms()
+
+
+def cover_of_strategy(query: BGPQuery, strategy: str) -> Optional[Cover]:
+    """The fixed cover behind a named baseline strategy, if any."""
+    if strategy == "ucq":
+        return ucq_cover(query)
+    if strategy == "scq":
+        return scq_cover(query)
+    return None

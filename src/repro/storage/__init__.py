@@ -1,0 +1,18 @@
+"""RDBMS-style storage: dictionary encoding, triple table, statistics."""
+
+from .database import RDFDatabase
+from .persistence import load_database, save_database
+from .dictionary import Dictionary
+from .statistics import TableStatistics
+from .triple_table import PERMUTATIONS, Pattern, TripleTable
+
+__all__ = [
+    "Dictionary",
+    "PERMUTATIONS",
+    "Pattern",
+    "RDFDatabase",
+    "load_database",
+    "save_database",
+    "TableStatistics",
+    "TripleTable",
+]

@@ -1,0 +1,65 @@
+"""Dictionary encoding of RDF values.
+
+The paper stores the ``Triples(s,p,o)`` table dictionary-encoded,
+"using a unique integer for each distinct value (URIs and literals)",
+with the dictionary indexed both ways (Section 5.1).  :class:`Dictionary`
+is that two-way map; codes are dense, starting at 0, so they double as
+array indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..rdf.terms import BlankNode, Literal, Term, URI
+
+
+class Dictionary:
+    """Two-way value ↔ integer-code map for ground RDF terms."""
+
+    def __init__(self) -> None:
+        self._code_of: Dict[Term, int] = {}
+        self._term_of: List[Term] = []
+
+    def encode(self, term: Term) -> int:
+        """The code of ``term``, allocating a new one on first sight."""
+        if term.is_variable:
+            raise TypeError(f"variables are not dictionary-encoded: {term}")
+        code = self._code_of.get(term)
+        if code is None:
+            code = len(self._term_of)
+            self._code_of[term] = code
+            self._term_of.append(term)
+        return code
+
+    def encode_many(self, terms: Iterable[Term]) -> List[int]:
+        """Encode a batch of terms."""
+        return [self.encode(t) for t in terms]
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """The code of ``term`` if already allocated, else ``None``.
+
+        Query translation uses this: a constant absent from the
+        dictionary cannot match any stored triple.
+        """
+        return self._code_of.get(term)
+
+    def decode(self, code: int) -> Term:
+        """The term a code stands for."""
+        return self._term_of[code]
+
+    def __len__(self) -> int:
+        return len(self._term_of)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._code_of
+
+    def __repr__(self) -> str:
+        return f"Dictionary({len(self)} values)"
+
+    def stats(self) -> Dict[str, int]:
+        """Counts per term kind, for reporting."""
+        uris = sum(1 for t in self._term_of if isinstance(t, URI))
+        literals = sum(1 for t in self._term_of if isinstance(t, Literal))
+        blanks = sum(1 for t in self._term_of if isinstance(t, BlankNode))
+        return {"uris": uris, "literals": literals, "blank_nodes": blanks}

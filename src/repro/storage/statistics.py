@@ -1,0 +1,69 @@
+"""Database statistics for cardinality estimation.
+
+The optimizers repeatedly ask two questions about the store while
+searching the cover space (paper Section 5.2 notes the time "to obtain
+the statistics necessary for estimating the number of results of
+various fragments"):
+
+* exact match counts of single triple patterns — ``O(log n)`` on the
+  sorted indexes, so we answer them exactly, like the paper's Table 1
+  "#answers" column;
+* distinct-value counts per pattern position — used by the
+  System-R-style join selectivity estimate in
+  :mod:`repro.cost.cardinality`.
+
+Both are memoized: the optimizer probes the same patterns many times
+across candidate covers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .triple_table import Pattern, TripleTable
+
+
+class TableStatistics:
+    """Memoizing statistics facade over a :class:`TripleTable`."""
+
+    def __init__(self, table: TripleTable):
+        self.table = table
+        self._count_cache: Dict[Pattern, int] = {}
+        self._distinct_cache: Dict[Tuple[Pattern, int], int] = {}
+
+    @property
+    def triple_count(self) -> int:
+        """Total number of stored triples."""
+        return len(self.table)
+
+    def pattern_count(self, pattern: Pattern) -> int:
+        """Exact number of triples matching an encoded pattern."""
+        cached = self._count_cache.get(pattern)
+        if cached is None:
+            cached = self.table.match_count(pattern)
+            self._count_cache[pattern] = cached
+        return cached
+
+    def distinct(self, pattern: Pattern, position: int) -> int:
+        """Distinct values at ``position`` among the pattern's matches.
+
+        For a bound position this is 1 when any match exists (0
+        otherwise); unbound positions are measured on the index.
+        """
+        if pattern[position] is not None:
+            return 1 if self.pattern_count(pattern) else 0
+        key = (pattern, position)
+        cached = self._distinct_cache.get(key)
+        if cached is None:
+            cached = self.table.distinct_count(pattern, position)
+            self._distinct_cache[key] = cached
+        return cached
+
+    def invalidate(self) -> None:
+        """Drop caches (call after the table content changes)."""
+        self._count_cache.clear()
+        self._distinct_cache.clear()
+
+    def probe_calls(self) -> Tuple[int, int]:
+        """(count-cache size, distinct-cache size) — for instrumentation."""
+        return len(self._count_cache), len(self._distinct_cache)

@@ -1,0 +1,238 @@
+"""The dictionary-encoded ``Triples(s, p, o)`` table with all 6 indexes.
+
+Mirrors the paper's storage layout (Section 5.1): one triples table of
+integer codes, "indexed by all permutations of the s, p, o columns,
+leading to a total of 6 indexes".
+
+Each index is a sorted ``numpy`` array of 64-bit composite keys packing
+the three columns in one permutation order; a lookup with any subset of
+bound positions is a binary-searched contiguous range on the
+permutation whose order puts the bound positions first:
+
+===========  =================
+bound        index used
+===========  =================
+(none)       spo (full scan)
+s            spo
+p            pos
+o            osp
+s, p         spo
+p, o         pos
+s, o         sop
+s, p, o      spo
+===========  =================
+
+Column codes must fit in ``BITS`` bits (default 21 → two million
+distinct values, ample for the benchmark scales; raise it for more).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rdf.terms import Triple
+from .dictionary import Dictionary
+
+#: A pattern binds some positions to codes and leaves others None.
+Pattern = Tuple[Optional[int], Optional[int], Optional[int]]
+
+#: The six permutations, as position orders into (s, p, o).
+PERMUTATIONS = {
+    "spo": (0, 1, 2),
+    "sop": (0, 2, 1),
+    "pso": (1, 0, 2),
+    "pos": (1, 2, 0),
+    "osp": (2, 0, 1),
+    "ops": (2, 1, 0),
+}
+
+#: Which permutation serves which set of bound positions (as a frozenset).
+_INDEX_FOR_BOUND = {
+    frozenset(): "spo",
+    frozenset({0}): "spo",
+    frozenset({1}): "pos",
+    frozenset({2}): "osp",
+    frozenset({0, 1}): "spo",
+    frozenset({1, 2}): "pos",
+    frozenset({0, 2}): "sop",
+    frozenset({0, 1, 2}): "spo",
+}
+
+
+class TripleTable:
+    """Sorted-array triple store over a :class:`Dictionary`.
+
+    Usage: ``add_triples`` (or ``add_encoded``) then :meth:`freeze`;
+    lookups require a frozen table.  ``freeze`` is idempotent and
+    re-freezing after more adds rebuilds the indexes.
+    """
+
+    def __init__(self, dictionary: Optional[Dictionary] = None, bits: int = 21):
+        if not 1 <= bits <= 21:
+            raise ValueError("bits must be in 1..21 so three columns fit in 63 bits")
+        self.dictionary = dictionary if dictionary is not None else Dictionary()
+        self.bits = bits
+        self._mask = (1 << bits) - 1
+        self._pending: List[Tuple[int, int, int]] = []
+        self._pending_blocks: List[np.ndarray] = []
+        self._indexes: Optional[dict] = None
+        self._dirty = True
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add_triples(self, triples: Iterable[Triple]) -> int:
+        """Encode and buffer ground triples; returns how many were buffered."""
+        encode = self.dictionary.encode
+        added = 0
+        for triple in triples:
+            self._pending.append((encode(triple.s), encode(triple.p), encode(triple.o)))
+            added += 1
+        self._dirty = True
+        return added
+
+    def add_encoded(self, rows: Iterable[Tuple[int, int, int]]) -> int:
+        """Buffer already-encoded rows."""
+        before = len(self._pending)
+        self._pending.extend(rows)
+        self._dirty = True
+        return len(self._pending) - before
+
+    def add_block(self, block: np.ndarray) -> int:
+        """Buffer an already-encoded ``(n, 3)`` array without conversion."""
+        if block.ndim != 2 or block.shape[1] != 3:
+            raise ValueError(f"expected an (n, 3) block, got shape {block.shape}")
+        self._pending_blocks.append(np.asarray(block, dtype=np.int64))
+        self._dirty = True
+        return int(block.shape[0])
+
+    def freeze(self) -> None:
+        """(Re)build the six sorted composite-key indexes; dedups rows."""
+        if self._indexes is not None and not self._dirty:
+            return
+        if len(self.dictionary) > (1 << self.bits):
+            raise OverflowError(
+                f"{len(self.dictionary)} dictionary codes exceed {self.bits}-bit columns"
+            )
+        blocks = list(self._pending_blocks)
+        if self._pending:
+            blocks.append(np.array(self._pending, dtype=np.int64))
+        base = self._existing_rows()
+        if base is not None:
+            blocks.insert(0, base)
+        if blocks:
+            rows = np.vstack(blocks)
+        else:
+            rows = np.empty((0, 3), dtype=np.int64)
+        self._pending = []
+        self._pending_blocks = []
+        self._dirty = False
+        indexes = {}
+        shift2, shift1 = 2 * self.bits, self.bits
+        for name, order in PERMUTATIONS.items():
+            keys = (
+                (rows[:, order[0]] << shift2)
+                | (rows[:, order[1]] << shift1)
+                | rows[:, order[2]]
+            )
+            keys = np.unique(keys)  # sorts and removes duplicate triples
+            indexes[name] = keys
+        self._indexes = indexes
+        self._count = int(indexes["spo"].shape[0])
+
+    def _existing_rows(self) -> Optional[np.ndarray]:
+        if self._indexes is None:
+            return None
+        return self._decode_keys(self._indexes["spo"], "spo")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        self.freeze()
+        return self._count
+
+    def match_count(self, pattern: Pattern) -> int:
+        """Exact number of triples matching ``pattern`` (O(log n))."""
+        lo, hi, _ = self._range(pattern)
+        return hi - lo
+
+    def match(self, pattern: Pattern) -> np.ndarray:
+        """All matching triples as an ``(n, 3)`` array in (s, p, o) order."""
+        lo, hi, name = self._range(pattern)
+        keys = self._indexes[name][lo:hi]
+        return self._decode_keys(keys, name)
+
+    def match_columns(self, pattern: Pattern, positions: Sequence[int]) -> np.ndarray:
+        """Matching rows restricted to the given positions (0=s, 1=p, 2=o)."""
+        rows = self.match(pattern)
+        return rows[:, list(positions)]
+
+    def iter_matches(self, pattern: Pattern) -> Iterator[Tuple[int, int, int]]:
+        """Iterate matches as plain tuples (used by tuple-at-a-time code)."""
+        for row in self.match(pattern):
+            yield (int(row[0]), int(row[1]), int(row[2]))
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        """Membership test for one encoded triple."""
+        return self.match_count((s, p, o)) == 1
+
+    def distinct_count(self, pattern: Pattern, position: int) -> int:
+        """Number of distinct values at ``position`` among matches."""
+        lo, hi, name = self._range(pattern)
+        keys = self._indexes[name][lo:hi]
+        order = PERMUTATIONS[name]
+        slot = order.index(position)
+        column = self._column_from_keys(keys, slot)
+        if column.size == 0:
+            return 0
+        return int(np.unique(column).size)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _range(self, pattern: Pattern) -> Tuple[int, int, str]:
+        """Binary-search the composite range for a pattern.
+
+        Returns ``(lo, hi, index_name)``; matches are
+        ``index[lo:hi]``.
+        """
+        self.freeze()
+        bound = frozenset(i for i, v in enumerate(pattern) if v is not None)
+        name = _INDEX_FOR_BOUND[bound]
+        order = PERMUTATIONS[name]
+        keys = self._indexes[name]
+        shift2, shift1 = 2 * self.bits, self.bits
+        prefix = 0
+        width = 3 * self.bits
+        for slot, position in enumerate(order):
+            value = pattern[position]
+            if value is None:
+                break
+            shift = (shift2, shift1, 0)[slot]
+            prefix |= value << shift
+            width = shift
+        lo_key = prefix
+        hi_key = prefix + (1 << width) if width else prefix + 1
+        lo = int(np.searchsorted(keys, lo_key, side="left"))
+        hi = int(np.searchsorted(keys, hi_key, side="left"))
+        return lo, hi, name
+
+    def _column_from_keys(self, keys: np.ndarray, slot: int) -> np.ndarray:
+        shift = (2 * self.bits, self.bits, 0)[slot]
+        return (keys >> shift) & self._mask
+
+    def _decode_keys(self, keys: np.ndarray, name: str) -> np.ndarray:
+        order = PERMUTATIONS[name]
+        out = np.empty((keys.shape[0], 3), dtype=np.int64)
+        for slot, position in enumerate(order):
+            out[:, position] = self._column_from_keys(keys, slot)
+        return out
+
+    def __repr__(self) -> str:
+        pending = len(self._pending)
+        frozen = self._count if self._indexes is not None else 0
+        return f"TripleTable({frozen} triples frozen, {pending} pending)"

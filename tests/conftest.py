@@ -1,0 +1,63 @@
+"""Shared fixtures: the paper's book example, and small benchmark stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_dblp_database, build_lubm_database
+from repro.rdf import Literal, RDFSchema, RDF_TYPE, Triple, URI
+
+
+def ex(name: str) -> URI:
+    """A URI in the example namespace used across the tests."""
+    return URI(f"http://ex/{name}")
+
+
+@pytest.fixture(scope="session")
+def book_schema() -> RDFSchema:
+    """The schema of the paper's Examples 2-4 (Figure 3).
+
+    As in Figure 3, ``hasAuthor`` carries its own domain/range
+    constraints, which Example 4's reformulations (3), (7) and (10)
+    rely on.
+    """
+    schema = RDFSchema()
+    schema.add_subclass(ex("Book"), ex("Publication"))
+    schema.add_subproperty(ex("writtenBy"), ex("hasAuthor"))
+    schema.add_domain(ex("writtenBy"), ex("Book"))
+    schema.add_range(ex("writtenBy"), ex("Person"))
+    schema.add_domain(ex("hasAuthor"), ex("Book"))
+    schema.add_range(ex("hasAuthor"), ex("Person"))
+    return schema
+
+
+@pytest.fixture()
+def book_facts() -> list:
+    """The facts of the paper's Example 1 (URIs for the blank node)."""
+    doi1 = ex("doi1")
+    b1 = ex("b1")
+    return [
+        Triple(doi1, RDF_TYPE, ex("Book")),
+        Triple(doi1, ex("writtenBy"), b1),
+        Triple(doi1, ex("hasTitle"), Literal("Game of Thrones")),
+        Triple(b1, ex("hasName"), Literal("George R. R. Martin")),
+        Triple(doi1, ex("publishedIn"), Literal("1996")),
+    ]
+
+
+@pytest.fixture(scope="session")
+def lubm_db():
+    """A 1-university LUBM-style database (~3.5k triples)."""
+    return build_lubm_database(universities=1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def lubm_db3():
+    """A 3-university LUBM-style database (~10k triples)."""
+    return build_lubm_database(universities=3, seed=0)
+
+
+@pytest.fixture(scope="session")
+def dblp_db():
+    """A small DBLP-style database (~2k publications)."""
+    return build_dblp_database(publications=2_000, seed=0)

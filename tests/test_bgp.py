@@ -1,0 +1,131 @@
+"""Unit tests for BGPQuery: safety, substitution, join graph, canonical form."""
+
+import pytest
+
+from repro.query import BGPQuery
+from repro.rdf import BlankNode, RDF_TYPE, Triple, URI, Variable
+
+
+def u(name):
+    return URI(f"http://q/{name}")
+
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+class TestConstruction:
+    def test_safety_enforced(self):
+        with pytest.raises(ValueError):
+            BGPQuery([x], [Triple(y, u("p"), z)])
+
+    def test_constant_head_allowed(self):
+        q = BGPQuery([x, u("C")], [Triple(x, RDF_TYPE, u("C"))])
+        assert q.head[1] == u("C")
+
+    def test_empty_body_with_ground_head(self):
+        q = BGPQuery([u("a")], [])
+        assert q.arity == 1
+
+    def test_blank_nodes_become_variables(self):
+        q = BGPQuery([x], [Triple(x, u("p"), BlankNode("b"))])
+        assert all(not t.is_blank for atom in q.body for t in atom)
+        assert len(q.variables()) == 2
+
+    def test_same_blank_same_variable(self):
+        b = BlankNode("b")
+        q = BGPQuery([x], [Triple(x, u("p"), b), Triple(b, u("q"), x)])
+        assert q.body[0].o == q.body[1].s
+
+    def test_equality_ignores_atom_order(self):
+        a1, a2 = Triple(x, u("p"), y), Triple(y, u("q"), z)
+        assert BGPQuery([x], [a1, a2]) == BGPQuery([x], [a2, a1])
+
+    def test_hashable(self):
+        q = BGPQuery([x], [Triple(x, u("p"), y)])
+        assert len({q, BGPQuery([x], [Triple(x, u("p"), y)])}) == 1
+
+
+class TestIntrospection:
+    def test_variables(self):
+        q = BGPQuery([x], [Triple(x, u("p"), y), Triple(y, u("q"), z)])
+        assert q.variables() == {x, y, z}
+
+    def test_head_variables_skip_constants(self):
+        q = BGPQuery([x, u("C")], [Triple(x, RDF_TYPE, u("C"))])
+        assert q.head_variables() == (x,)
+
+    def test_arity(self):
+        q = BGPQuery([x, y], [Triple(x, u("p"), y)])
+        assert q.arity == 2
+
+
+class TestJoinGraph:
+    @pytest.fixture()
+    def chain(self):
+        return BGPQuery(
+            [x], [Triple(x, u("p"), y), Triple(y, u("q"), z), Triple(z, u("r"), w)]
+        )
+
+    def test_adjacency(self, chain):
+        assert chain.join_graph() == {0: {1}, 1: {0, 2}, 2: {1}}
+
+    def test_connected_subsets(self, chain):
+        assert chain.is_connected({0, 1})
+        assert chain.is_connected({0, 1, 2})
+        assert not chain.is_connected({0, 2})
+
+    def test_singleton_connected(self, chain):
+        assert chain.is_connected({0})
+
+    def test_empty_not_connected(self, chain):
+        assert not chain.is_connected(set())
+
+
+class TestTransformation:
+    def test_substitute_head_and_body(self):
+        q = BGPQuery([x, y], [Triple(x, RDF_TYPE, y)])
+        ground = q.substitute({y: u("C")})
+        assert ground.head == (x, u("C"))
+        assert ground.body[0].o == u("C")
+
+    def test_replace_atom(self):
+        q = BGPQuery([x], [Triple(x, RDF_TYPE, u("C")), Triple(x, u("p"), y)])
+        replaced = q.replace_atom(0, [Triple(x, u("q"), z)])
+        assert replaced.body[0] == Triple(x, u("q"), z)
+        assert len(replaced.body) == 2
+
+    def test_replace_atom_with_nothing(self):
+        q = BGPQuery([x], [Triple(x, u("p"), y), Triple(x, u("q"), z)])
+        shrunk = q.replace_atom(1, [])
+        assert len(shrunk.body) == 1
+
+    def test_with_body(self):
+        q = BGPQuery([x], [Triple(x, u("p"), y)])
+        other = q.with_body([Triple(x, u("q"), z)])
+        assert other.head == q.head
+        assert other.body == (Triple(x, u("q"), z),)
+
+
+class TestCanonicalForm:
+    def test_fresh_variable_names_ignored(self):
+        a = BGPQuery([x], [Triple(x, u("p"), Variable("f0"))])
+        b = BGPQuery([x], [Triple(x, u("p"), Variable("f99"))])
+        assert a.canonical() == b.canonical()
+
+    def test_head_variable_names_matter(self):
+        # Only *non-distinguished* variables are renamed: conjuncts of
+        # one reformulation share their head variable names, so keeping
+        # them literal is safe and distinguishes unrelated queries.
+        a = BGPQuery([x], [Triple(x, u("p"), y)])
+        b = BGPQuery([y], [Triple(y, u("p"), x)])
+        assert a.canonical() != b.canonical()
+
+    def test_different_bodies_differ(self):
+        a = BGPQuery([x], [Triple(x, u("p"), y)])
+        b = BGPQuery([x], [Triple(x, u("q"), y)])
+        assert a.canonical() != b.canonical()
+
+    def test_join_structure_matters(self):
+        a = BGPQuery([x], [Triple(x, u("p"), y), Triple(y, u("q"), z)])
+        b = BGPQuery([x], [Triple(x, u("p"), y), Triple(w, u("q"), z)])
+        assert a.canonical() != b.canonical()

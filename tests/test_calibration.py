@@ -1,0 +1,46 @@
+"""Tests for per-engine cost-constant calibration."""
+
+import pytest
+
+from repro.cost import CostConstants, calibrate, load_constants, save_constants
+from repro.cost.calibration import _features, _probe_queries
+from repro.cost.cardinality import CardinalityEstimator
+from repro.engine import NativeEngine
+
+
+class TestProbes:
+    def test_probe_workload_nonempty(self, lubm_db):
+        probes = _probe_queries(lubm_db)
+        assert len(probes) >= 8
+
+    def test_probe_variety(self, lubm_db):
+        from repro.query import BGPQuery, JUCQ, UCQ
+
+        probes = _probe_queries(lubm_db)
+        kinds = {type(p) for p in probes}
+        assert kinds == {BGPQuery, UCQ, JUCQ}
+
+    def test_features_shape(self, lubm_db):
+        estimator = CardinalityEstimator(lubm_db)
+        for probe in _probe_queries(lubm_db):
+            features = _features(probe, estimator)
+            assert features.shape == (4,)
+            assert features[0] == 1.0
+            assert (features >= 0).all()
+
+
+class TestCalibration:
+    def test_constants_positive(self, lubm_db):
+        engine = NativeEngine(lubm_db)
+        constants = calibrate(engine, lubm_db, repeats=1)
+        assert constants.c_db > 0
+        assert constants.c_t > 0
+        assert constants.c_j > 0
+        assert constants.c_m > 0
+        assert constants.c_l > 0
+
+    def test_save_load_round_trip(self, tmp_path):
+        constants = CostConstants(c_db=0.123, c_t=4.5e-7)
+        path = tmp_path / "profiles" / "native.json"
+        save_constants(constants, path)
+        assert load_constants(path) == constants

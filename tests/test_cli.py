@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import UB
+
+
+@pytest.fixture()
+def dataset(tmp_path):
+    path = tmp_path / "campus.nt"
+    assert main(["generate", "lubm", "--universities", "1", "-o", str(path)]) == 0
+    return path
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestGenerate:
+    def test_lubm_file(self, dataset):
+        text = dataset.read_text()
+        assert "univ-bench" in text
+        assert text.count("\n") > 3000
+
+    def test_dblp_stdout(self, capsys):
+        code, out, err = run_cli(
+            ["generate", "dblp", "--publications", "50"], capsys
+        )
+        assert code == 0
+        assert "dblp.example.org" in out
+
+    def test_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.nt", tmp_path / "b.nt"
+        main(["generate", "lubm", "--universities", "1", "-o", str(a), "--seed", "9"])
+        main(["generate", "lubm", "--universities", "1", "-o", str(b), "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+
+class TestQuery:
+    @pytest.mark.parametrize("strategy", ["gcov", "ucq", "saturation"])
+    def test_answers_printed(self, dataset, capsys, strategy):
+        code, out, err = run_cli(
+            [
+                "query",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:Chair }",
+                "--prefix",
+                f"ub={UB}",
+                "--strategy",
+                strategy,
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert out.count("\n") == 4  # one chair per department
+        assert "answers" in err
+
+    def test_sqlite_engine(self, dataset, capsys):
+        code, out, _ = run_cli(
+            [
+                "query",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:ResearchGroup }",
+                "--prefix",
+                f"ub={UB}",
+                "--engine",
+                "sqlite",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert out.count("\n") == 12  # 3 groups × 4 departments
+
+    def test_bad_prefix_rejected(self, dataset):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    str(dataset),
+                    "-q",
+                    "SELECT ?x WHERE { ?x a ub:Chair }",
+                    "--prefix",
+                    "malformed",
+                ]
+            )
+
+
+class TestExplain:
+    def test_native_plan(self, dataset, capsys):
+        code, out, _ = run_cli(
+            [
+                "explain",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:Professor . ?x ub:worksFor ?d }",
+                "--prefix",
+                f"ub={UB}",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "cover:" in out
+        assert "union terms" in out
+        assert "JUCQ" in out or "UCQ" in out
+
+    def test_sql_output(self, dataset, capsys):
+        code, out, _ = run_cli(
+            [
+                "explain",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:Chair }",
+                "--prefix",
+                f"ub={UB}",
+                "--strategy",
+                "ucq",
+                "--sql",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "SELECT DISTINCT" in out
+        assert "FROM triples" in out
+
+
+class TestStats:
+    def test_summary(self, dataset, capsys):
+        code, out, _ = run_cli(["stats", str(dataset), "--top", "3"], capsys)
+        assert code == 0
+        assert "facts:" in out
+        assert "class histogram" in out

@@ -1,0 +1,172 @@
+"""Tests for the Section 4.1 cost model and its constants."""
+
+import math
+
+import pytest
+
+from repro.cost import CostConstants, CostModel
+from repro.query import BGPQuery, JUCQ, UCQ
+from repro.rdf import Triple, URI, Variable
+from repro.storage import RDFDatabase
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def u(name):
+    return URI(f"http://cm/{name}")
+
+
+@pytest.fixture(scope="module")
+def db():
+    facts = []
+    for i in range(50):
+        facts.append(Triple(u(f"s{i}"), u("p"), u(f"o{i % 5}")))
+    for i in range(10):
+        facts.append(Triple(u(f"o{i % 5}"), u("q"), u(f"t{i}")))
+    database = RDFDatabase()
+    database.load_facts(facts)
+    return database
+
+
+@pytest.fixture()
+def model(db):
+    return CostModel(db)
+
+
+def jucq2(db):
+    left = UCQ([BGPQuery([x, y], [Triple(x, u("p"), y)])])
+    right = UCQ([BGPQuery([y, z], [Triple(y, u("q"), z)])])
+    return JUCQ([x, z], [left, right])
+
+
+class TestUniqueCost:
+    def test_linear_within_memory(self, model):
+        k = model.constants
+        assert model.unique_cost(100) == pytest.approx(k.c_l * 100)
+
+    def test_nlogn_beyond_memory(self, db):
+        constants = CostConstants(sort_memory_rows=10)
+        model = CostModel(db, constants=constants)
+        rows = 1000
+        expected = constants.c_k * rows * math.log2(rows)
+        assert model.unique_cost(rows) == pytest.approx(expected)
+
+    def test_zero_rows_free(self, model):
+        assert model.unique_cost(0) == 0.0
+
+    def test_dedup_ablation(self, db):
+        model = CostModel(db, charge_dedup=False)
+        assert model.unique_cost(1_000_000) == 0.0
+
+
+class TestBreakdown:
+    def test_connection_always_charged(self, db, model):
+        breakdown = model.jucq_cost(jucq2(db))
+        assert breakdown.connection == model.constants.c_db
+
+    def test_single_operand_has_no_join_terms(self, db, model):
+        single = JUCQ([x], [UCQ([BGPQuery([x], [Triple(x, u("p"), y)])])])
+        breakdown = model.jucq_cost(single)
+        assert breakdown.operand_join == 0.0
+        assert breakdown.materialization == 0.0
+        assert breakdown.final_dedup == 0.0
+
+    def test_multi_operand_charges_join(self, db, model):
+        breakdown = model.jucq_cost(jucq2(db))
+        assert breakdown.operand_join > 0.0
+        assert breakdown.final_dedup > 0.0
+
+    def test_largest_operand_pipelined(self, db):
+        """Materialization skips the largest sub-result (Section 4.1 (v))."""
+        model = CostModel(db)
+        j = jucq2(db)
+        sizes = [model.estimator.ucq_cardinality(op) for op in j]
+        breakdown = model.jucq_cost(j)
+        expected = model.constants.c_m * min(sizes)
+        assert breakdown.materialization == pytest.approx(expected)
+
+    def test_materialization_ablation(self, db):
+        model = CostModel(db, charge_materialization=False)
+        assert model.jucq_cost(jucq2(db)).materialization == 0.0
+
+    def test_total_sums_components(self, db, model):
+        breakdown = model.jucq_cost(jucq2(db))
+        total = (
+            breakdown.connection
+            + breakdown.scan_join
+            + breakdown.operand_dedup
+            + breakdown.operand_join
+            + breakdown.materialization
+            + breakdown.final_dedup
+        )
+        assert breakdown.total == pytest.approx(total)
+
+
+class TestScalarCost:
+    def test_dispatch_all_forms(self, db, model):
+        q = BGPQuery([x, y], [Triple(x, u("p"), y)])
+        assert model.cost(q) > 0
+        assert model.cost(UCQ([q])) > 0
+        assert model.cost(jucq2(db)) > 0
+        with pytest.raises(TypeError):
+            model.cost("nope")
+
+    def test_bigger_scan_costs_more(self, db, model):
+        small = UCQ([BGPQuery([x, y], [Triple(x, u("q"), y)])])
+        large = UCQ([BGPQuery([x, y], [Triple(x, u("p"), y)])])
+        assert model.cost(large) > model.cost(small)
+
+    def test_scan_join_grows_with_union_terms(self, db, model):
+        one = UCQ([BGPQuery([x], [Triple(x, u("p"), y)])])
+        two = UCQ(
+            [
+                BGPQuery([x], [Triple(x, u("p"), y)]),
+                BGPQuery([x], [Triple(x, u("q"), y)]),
+            ]
+        )
+        assert model.cost(two) > model.cost(one)
+
+
+class TestEngineLimits:
+    def test_oversized_operand_costs_infinity(self, db):
+        model = CostModel(db, max_operand_terms=1)
+        a = BGPQuery([x], [Triple(x, u("p"), y)])
+        b = BGPQuery([x], [Triple(x, u("q"), y)])
+        big = UCQ([a, b])
+        assert model.cost(big) == float("inf")
+        assert model.cost(JUCQ([x], [big])) == float("inf")
+
+    def test_within_limit_finite(self, db):
+        model = CostModel(db, max_operand_terms=5)
+        a = BGPQuery([x], [Triple(x, u("p"), y)])
+        assert model.cost(UCQ([a])) < float("inf")
+
+    def test_gcov_avoids_oversized_operands(self, db):
+        """With a statement limit, GCov keeps fan-out atoms in separate
+        fragments: each atom reformulates to 7 terms, so the single-
+        fragment (UCQ) cover has ~49 terms and is infeasible under a
+        20-term limit, while the singleton cover's operands fit."""
+        from repro.optimizer import gcov
+        from repro.reformulation import Reformulator
+        from repro.rdf import RDFSchema
+
+        schema = RDFSchema()
+        for i in range(6):
+            schema.add_subproperty(u(f"p{i}"), u("p"))
+            schema.add_subproperty(u(f"q{i}"), u("q"))
+        reformulator = Reformulator(schema)
+        query = BGPQuery([x, z], [Triple(x, u("p"), y), Triple(y, u("q"), z)])
+        model = CostModel(db, max_operand_terms=20)
+        result = gcov(query, reformulator, model.cost)
+        assert result.estimated_cost < float("inf")
+        assert all(len(op) <= 20 for op in result.jucq)
+
+
+class TestConstantsSerialization:
+    def test_round_trip(self):
+        constants = CostConstants(c_db=0.5, c_t=1e-6)
+        assert CostConstants.from_dict(constants.to_dict()) == constants
+
+    def test_defaults_positive(self):
+        k = CostConstants()
+        assert min(k.c_db, k.c_t, k.c_j, k.c_m, k.c_l, k.c_k) > 0

@@ -1,0 +1,145 @@
+"""Tests for counting-based saturation maintenance (inserts + deletes)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import RDFGraph, RDFSchema, RDF_TYPE, Triple, URI
+from repro.reasoning import CountingSaturator, saturate
+
+
+def u(name):
+    return URI(f"http://cn/{name}")
+
+
+@pytest.fixture()
+def schema():
+    s = RDFSchema()
+    s.add_subclass(u("A"), u("B"))
+    s.add_subproperty(u("p"), u("q"))
+    s.add_domain(u("p"), u("A"))
+    s.add_range(u("q"), u("B"))
+    return s
+
+
+class TestInsert:
+    def test_view_matches_batch(self, schema):
+        facts = [
+            Triple(u("i"), u("p"), u("j")),
+            Triple(u("k"), RDF_TYPE, u("A")),
+        ]
+        sat = CountingSaturator(schema, initial=facts)
+        assert sat.graph == saturate(RDFGraph(facts), schema)
+
+    def test_counts_accumulate(self, schema):
+        sat = CountingSaturator(schema)
+        sat.add(Triple(u("i"), u("p"), u("j")))  # derives i type A, B...
+        sat.add(Triple(u("i"), RDF_TYPE, u("A")))  # asserts it too
+        assert sat.derivation_count(Triple(u("i"), RDF_TYPE, u("A"))) >= 2
+
+    def test_reassert_is_idempotent_on_view(self, schema):
+        sat = CountingSaturator(schema)
+        first = sat.add(Triple(u("i"), u("p"), u("j")))
+        again = sat.add(Triple(u("i"), u("p"), u("j")))
+        assert first > 0
+        assert again == 0
+
+
+class TestDelete:
+    def test_delete_explicit_keeps_derived_support(self, schema):
+        """Deleting the explicit type keeps the triple while property
+        evidence still derives it."""
+        sat = CountingSaturator(schema)
+        sat.add(Triple(u("i"), u("p"), u("j")))     # derives i type A
+        sat.add(Triple(u("i"), RDF_TYPE, u("A")))   # also explicit
+        sat.remove(Triple(u("i"), RDF_TYPE, u("A")))
+        assert Triple(u("i"), RDF_TYPE, u("A")) in sat
+
+    def test_delete_last_support_removes(self, schema):
+        sat = CountingSaturator(schema)
+        sat.add(Triple(u("i"), u("p"), u("j")))
+        sat.remove(Triple(u("i"), u("p"), u("j")))
+        assert len(sat) == 0
+
+    def test_delete_unknown_raises(self, schema):
+        with pytest.raises(KeyError):
+            CountingSaturator(schema).remove(Triple(u("i"), u("p"), u("j")))
+
+    def test_multiplicity_deletion(self, schema):
+        sat = CountingSaturator(schema)
+        sat.add(Triple(u("i"), u("p"), u("j")))
+        sat.add(Triple(u("i"), u("p"), u("j")))  # asserted twice
+        assert sat.remove(Triple(u("i"), u("p"), u("j"))) == 0
+        assert Triple(u("i"), u("p"), u("j")) in sat
+        sat.remove(Triple(u("i"), u("p"), u("j")))
+        assert len(sat) == 0
+
+    def test_cyclic_schema(self):
+        cyclic = RDFSchema()
+        cyclic.add_subclass(u("X"), u("Y"))
+        cyclic.add_subclass(u("Y"), u("X"))
+        sat = CountingSaturator(cyclic)
+        sat.add(Triple(u("i"), RDF_TYPE, u("X")))
+        assert Triple(u("i"), RDF_TYPE, u("Y")) in sat
+        sat.remove(Triple(u("i"), RDF_TYPE, u("X")))
+        assert len(sat) == 0
+
+
+# ----------------------------------------------------------------------
+# Property: after any interleaving of inserts and deletes, the view is
+# exactly the batch saturation of the surviving explicit triples.
+# ----------------------------------------------------------------------
+_CLASSES = [u(f"C{i}") for i in range(4)]
+_PROPERTIES = [u(f"P{i}") for i in range(3)]
+_INDIVIDUALS = [u(f"i{i}") for i in range(5)]
+
+
+@st.composite
+def _schema(draw):
+    schema = RDFSchema()
+    for _ in range(draw(st.integers(0, 4))):
+        schema.add_subclass(draw(st.sampled_from(_CLASSES)), draw(st.sampled_from(_CLASSES)))
+    for _ in range(draw(st.integers(0, 2))):
+        schema.add_subproperty(
+            draw(st.sampled_from(_PROPERTIES)), draw(st.sampled_from(_PROPERTIES))
+        )
+    for _ in range(draw(st.integers(0, 2))):
+        schema.add_domain(draw(st.sampled_from(_PROPERTIES)), draw(st.sampled_from(_CLASSES)))
+    for _ in range(draw(st.integers(0, 2))):
+        schema.add_range(draw(st.sampled_from(_PROPERTIES)), draw(st.sampled_from(_CLASSES)))
+    return schema
+
+
+_triple = st.one_of(
+    st.builds(
+        Triple,
+        st.sampled_from(_INDIVIDUALS),
+        st.sampled_from(_PROPERTIES),
+        st.sampled_from(_INDIVIDUALS),
+    ),
+    st.builds(
+        Triple,
+        st.sampled_from(_INDIVIDUALS),
+        st.just(RDF_TYPE),
+        st.sampled_from(_CLASSES),
+    ),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    schema=_schema(),
+    operations=st.lists(st.tuples(st.booleans(), _triple), min_size=1, max_size=30),
+)
+def test_counting_view_equals_batch_resaturation(schema, operations):
+    sat = CountingSaturator(schema)
+    explicit = []
+    for is_add, triple in operations:
+        if is_add:
+            sat.add(triple)
+            explicit.append(triple)
+        elif triple in explicit:
+            sat.remove(triple)
+            explicit.remove(triple)
+    expected = saturate(RDFGraph(explicit), schema)
+    assert sat.graph == expected
+    assert sat.explicit_triples() == set(explicit)

@@ -1,0 +1,183 @@
+"""Tests for query covers (Definition 3.3) and cover queries (Definition 3.4)."""
+
+import pytest
+
+from repro.query import BGPQuery
+from repro.rdf import RDF_TYPE, Triple, URI, Variable
+from repro.reformulation import (
+    connected_fragments,
+    count_covers,
+    cover_queries,
+    cover_query,
+    enumerate_covers,
+    format_cover,
+    scq_cover,
+    ucq_cover,
+    validate_cover,
+)
+
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+
+def u(name):
+    return URI(f"http://cv/{name}")
+
+
+@pytest.fixture()
+def star():
+    """Three atoms all sharing ?x (complete join graph)."""
+    return BGPQuery(
+        [x],
+        [Triple(x, u("p0"), y), Triple(x, u("p1"), z), Triple(x, u("p2"), w)],
+    )
+
+
+@pytest.fixture()
+def chain():
+    """x-y-z-w chain: atom i joins only with i±1."""
+    return BGPQuery(
+        [x, w],
+        [Triple(x, u("p"), y), Triple(y, u("q"), z), Triple(z, u("r"), w)],
+    )
+
+
+class TestFixedCovers:
+    def test_ucq_cover(self, star):
+        cover = ucq_cover(star)
+        assert cover == frozenset({frozenset({0, 1, 2})})
+        validate_cover(star, cover)
+
+    def test_scq_cover(self, star):
+        cover = scq_cover(star)
+        assert len(cover) == 3
+        validate_cover(star, cover)
+
+
+class TestValidation:
+    def test_empty_cover_rejected(self, star):
+        with pytest.raises(ValueError):
+            validate_cover(star, frozenset())
+
+    def test_empty_fragment_rejected(self, star):
+        with pytest.raises(ValueError):
+            validate_cover(star, frozenset({frozenset(), frozenset({0, 1, 2})}))
+
+    def test_incomplete_cover_rejected(self, star):
+        with pytest.raises(ValueError):
+            validate_cover(star, frozenset({frozenset({0, 1})}))
+
+    def test_out_of_range_rejected(self, star):
+        with pytest.raises(ValueError):
+            validate_cover(star, frozenset({frozenset({0, 1, 2, 9})}))
+
+    def test_comparable_fragments_rejected(self, star):
+        cover = frozenset({frozenset({0}), frozenset({0, 1}), frozenset({2, 0})})
+        with pytest.raises(ValueError):
+            validate_cover(star, cover)
+
+    def test_disconnected_fragment_rejected(self, chain):
+        # Atoms 0 and 2 share no variable: a cartesian-product fragment.
+        with pytest.raises(ValueError):
+            validate_cover(
+                chain, frozenset({frozenset({0, 2}), frozenset({1})})
+            )
+
+    def test_overlapping_cover_accepted(self, star):
+        cover = frozenset({frozenset({0, 1}), frozenset({0, 2})})
+        validate_cover(star, cover)
+
+
+class TestCoverQueries:
+    def test_head_has_distinguished_and_join_vars(self, chain):
+        cover = frozenset({frozenset({0, 1}), frozenset({2})})
+        q01 = cover_query(chain, frozenset({0, 1}), cover)
+        # Distinguished x plus join variable z (shared with atom 2).
+        assert set(q01.head) == {x, z}
+        q2 = cover_query(chain, frozenset({2}), cover)
+        assert set(q2.head) == {w, z}
+
+    def test_distinguished_order_preserved(self, chain):
+        cover = ucq_cover(chain)
+        q = cover_query(chain, frozenset({0, 1, 2}), cover)
+        assert q.head == (x, w)
+
+    def test_body_is_fragment_atoms(self, chain):
+        cover = frozenset({frozenset({0, 1}), frozenset({2})})
+        q01 = cover_query(chain, frozenset({0, 1}), cover)
+        assert set(q01.body) == {chain.body[0], chain.body[1]}
+
+    def test_paper_example_cover_queries(self):
+        """Section 3: cover {{t1}, {t2,t3}} of q1 exports x (and y for t1)."""
+        q1 = BGPQuery(
+            [x, y],
+            [
+                Triple(x, RDF_TYPE, y),
+                Triple(x, u("degreeFrom"), u("univ7")),
+                Triple(x, u("memberOf"), u("dept")),
+            ],
+        )
+        cover = frozenset({frozenset({0}), frozenset({1, 2})})
+        first, second = cover_queries(q1, cover)
+        assert set(first.head) == {x, y}
+        assert set(second.head) == {x}
+
+    def test_deterministic_order(self, chain):
+        cover = frozenset({frozenset({2}), frozenset({0, 1})})
+        ordered = cover_queries(chain, cover)
+        assert ordered[0].body[0] == chain.body[0]
+
+
+class TestConnectedFragments:
+    def test_star_all_subsets(self, star):
+        # Complete join graph: all 7 non-empty subsets are connected.
+        assert len(connected_fragments(star)) == 7
+
+    def test_chain_excludes_gaps(self, chain):
+        fragments = set(connected_fragments(chain))
+        assert frozenset({0, 2}) not in fragments
+        assert frozenset({0, 1, 2}) in fragments
+        assert len(fragments) == 6  # {0},{1},{2},{01},{12},{012}
+
+    def test_max_size(self, star):
+        fragments = connected_fragments(star, max_size=1)
+        assert all(len(f) == 1 for f in fragments)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 8), (4, 49), (5, 462)])
+    def test_minimal_cover_counts_on_clique(self, n, expected):
+        """On clique queries the space is exactly the minimal covers of an
+        n-set: OEIS A046165, the sequence the paper quotes."""
+        atoms = [Triple(x, u(f"p{i}"), Variable(f"o{i}")) for i in range(n)]
+        query = BGPQuery([x], atoms)
+        assert count_covers(query) == expected
+
+    def test_chain_fewer_than_clique(self, chain):
+        # Connectivity prunes the space below the free minimal-cover count.
+        assert count_covers(chain) < 8
+        # {012}, {01}{2}, {0}{12}, {01}{12} (overlap), {0}{1}{2}.
+        assert count_covers(chain) == 5
+
+    def test_all_enumerated_covers_valid(self, star):
+        for cover in enumerate_covers(star):
+            validate_cover(star, cover)
+
+    def test_no_duplicates(self, star):
+        covers = list(enumerate_covers(star))
+        assert len(covers) == len(set(covers))
+
+    def test_single_atom(self):
+        q = BGPQuery([x], [Triple(x, u("p"), y)])
+        assert list(enumerate_covers(q)) == [frozenset({frozenset({0})})]
+
+    def test_minimality(self, star):
+        for cover in enumerate_covers(star):
+            for fragment in cover:
+                others = set().union(*(f for f in cover if f != fragment)) if len(cover) > 1 else set()
+                assert not fragment <= others, "redundant fragment in enumerated cover"
+
+
+class TestFormatting:
+    def test_format_cover(self, chain):
+        cover = frozenset({frozenset({0, 1}), frozenset({2})})
+        assert format_cover(chain, cover) == "{t1,t2} {t3}"

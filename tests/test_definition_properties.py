@@ -1,0 +1,124 @@
+"""Property tests for the paper's definitions, independent of reasoning.
+
+Definition 3.4's cover queries must satisfy a purely relational
+identity: joining the (un-reformulated!) cover queries of any cover of
+``q`` and projecting onto ``q``'s head equals evaluating ``q`` itself —
+no schema involved.  Theorem 3.1 is this identity composed with
+per-fragment reformulation; testing the identity in isolation pins the
+head/export logic of ``cover_query`` separately from the rewriting.
+
+Also here: pruning is evaluation-preserving on arbitrary data, and the
+cost model is monotone in union terms.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost import CardinalityEstimator, CostModel
+from repro.query import BGPQuery, JUCQ, UCQ, evaluate
+from repro.rdf import RDFGraph, RDF_TYPE, Triple, URI, Variable
+from repro.reformulation import cover_queries, enumerate_covers
+from repro.reformulation.prune import prune_empty_conjuncts
+from repro.storage import RDFDatabase
+
+
+def u(name):
+    return URI(f"http://dp/{name}")
+
+
+_CONSTS = [u(f"c{i}") for i in range(5)]
+_PROPS = [u(f"p{i}") for i in range(3)]
+_VARS = [Variable(n) for n in "abcd"]
+
+
+@st.composite
+def _data_and_query(draw):
+    facts = [
+        Triple(
+            draw(st.sampled_from(_CONSTS)),
+            draw(st.sampled_from(_PROPS)),
+            draw(st.sampled_from(_CONSTS)),
+        )
+        for _ in range(draw(st.integers(1, 25)))
+    ]
+    # A connected query: atoms chained through a shared variable pool.
+    n_atoms = draw(st.integers(2, 4))
+    pool = _VARS[: draw(st.integers(2, 4))]
+    atoms = []
+    for i in range(n_atoms):
+        left = pool[i % len(pool)]
+        right = draw(st.sampled_from(pool + _CONSTS))
+        atoms.append(Triple(left, draw(st.sampled_from(_PROPS)), right))
+    variables = sorted({v for a in atoms for v in a.variables()})
+    head = draw(
+        st.lists(st.sampled_from(variables), min_size=1, max_size=2, unique=True)
+    )
+    return facts, BGPQuery(head, atoms)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_data_and_query())
+def test_definition_34_cover_join_identity(case):
+    """Joining un-reformulated cover queries ≡ evaluating the query."""
+    facts, query = case
+    graph = RDFGraph(facts)
+    expected = evaluate(query, graph)
+    for cover in enumerate_covers(query):
+        operands = [UCQ([cq]) for cq in cover_queries(query, cover)]
+        jucq = JUCQ(query.head, operands)
+        assert evaluate(jucq, graph) == expected, cover
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_data_and_query())
+def test_pruning_preserves_evaluation(case):
+    facts, query = case
+    graph = RDFGraph(facts)
+    database = RDFDatabase()
+    database.load_facts(facts)
+    estimator = CardinalityEstimator(database)
+    # Build a UCQ of the query plus perturbed variants (some empty).
+    variants = [query]
+    for prop in _PROPS:
+        body = list(query.body)
+        body[0] = Triple(body[0].s, prop, body[0].o)
+        variants.append(BGPQuery(query.head, body))
+    ucq = UCQ(variants)
+    pruned = prune_empty_conjuncts(ucq, estimator)
+    assert evaluate(pruned, graph) == evaluate(ucq, graph)
+    assert len(pruned) <= len(ucq)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=_data_and_query())
+def test_cost_monotone_in_union_terms(case):
+    """Adding a union term never decreases the estimated cost."""
+    facts, query = case
+    database = RDFDatabase()
+    database.load_facts(facts)
+    model = CostModel(database)
+    singleton = UCQ([query])
+    body = list(query.body)
+    body[0] = Triple(body[0].s, _PROPS[0], body[0].o)
+    extra = BGPQuery(query.head, body)
+    doubled = UCQ([query, extra])
+    if len(doubled) == 2:  # extra may dedup away
+        assert model.cost(doubled) >= model.cost(singleton) - 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=_data_and_query())
+def test_jucq_cost_has_all_components(case):
+    """Multi-operand JUCQs are charged join+materialization+final dedup."""
+    facts, query = case
+    database = RDFDatabase()
+    database.load_facts(facts)
+    model = CostModel(database)
+    covers = [c for c in enumerate_covers(query) if len(c) > 1]
+    if not covers:
+        return
+    operands = [UCQ([cq]) for cq in cover_queries(query, covers[0])]
+    jucq = JUCQ(query.head, operands)
+    breakdown = model.jucq_cost(jucq)
+    assert breakdown.connection > 0
+    assert breakdown.total >= breakdown.scan_join

@@ -1,0 +1,72 @@
+"""Tests for the engines' internal cost estimator (the Figure 9 rival)."""
+
+import pytest
+
+from repro.cost import CostModel
+from repro.datasets import lubm_query, motivating_q1
+from repro.engine import EngineCostEstimator, NATIVE_HASH, NATIVE_MERGE
+from repro.optimizer import gcov
+from repro.query import BGPQuery, UCQ
+from repro.rdf import Triple, URI, Variable
+from repro.reformulation import Reformulator, jucq_for_cover, scq_cover, ucq_cover
+
+x, y = Variable("x"), Variable("y")
+
+
+@pytest.fixture(scope="module")
+def estimator(lubm_db3):
+    return EngineCostEstimator(lubm_db3)
+
+
+class TestBasics:
+    def test_positive_costs(self, estimator, lubm_db3):
+        query = motivating_q1().query
+        assert estimator.cost(query) > 0
+        reformulator = Reformulator(lubm_db3.schema)
+        jucq = jucq_for_cover(query, scq_cover(query), reformulator)
+        assert estimator.cost(jucq) > 0
+
+    def test_more_unions_cost_more(self, estimator, lubm_db3):
+        from repro.datasets import ub
+
+        small = UCQ([BGPQuery([x], [Triple(x, ub("headOf"), y)])])
+        reformulator = Reformulator(lubm_db3.schema)
+        big = reformulator.reformulate(lubm_query("Q05"))
+        assert estimator.cost(big) > estimator.cost(small)
+
+    def test_merge_profile_differs(self, lubm_db3):
+        hash_est = EngineCostEstimator(lubm_db3, NATIVE_HASH)
+        merge_est = EngineCostEstimator(lubm_db3, NATIVE_MERGE)
+        query = motivating_q1().query
+        reformulator = Reformulator(lubm_db3.schema)
+        jucq = jucq_for_cover(query, scq_cover(query), reformulator)
+        assert hash_est.cost(jucq) != merge_est.cost(jucq)
+
+    def test_dispatch_error(self, estimator):
+        with pytest.raises(TypeError):
+            estimator.cost(object())
+
+
+class TestAsGCovOracle:
+    """Figure 9: GCov can be driven by the engine's internal model too."""
+
+    def test_gcov_with_internal_cost(self, lubm_db3, estimator):
+        reformulator = Reformulator(lubm_db3.schema)
+        query = motivating_q1().query
+        result = gcov(query, reformulator, estimator.cost)
+        from repro.reformulation import validate_cover
+
+        validate_cover(query, result.cover)
+
+    def test_internal_and_paper_models_rank_extremes_alike(
+        self, lubm_db3, estimator
+    ):
+        """Both models must agree that the giant UCQ of Q09 is worse than
+        a selective cover for q1-style queries at this scale."""
+        reformulator = Reformulator(lubm_db3.schema)
+        paper_model = CostModel(lubm_db3)
+        query = motivating_q1().query
+        ucq_jucq = jucq_for_cover(query, ucq_cover(query), reformulator)
+        best = gcov(query, reformulator, paper_model.cost).jucq
+        assert paper_model.cost(best) <= paper_model.cost(ucq_jucq)
+        assert estimator.cost(best) <= estimator.cost(ucq_jucq)

@@ -1,0 +1,106 @@
+"""Unit tests for the in-memory RDFGraph."""
+
+import pytest
+
+from repro.rdf import RDFGraph, RDFS_SUBCLASS, RDF_TYPE, Triple, URI, Variable
+
+
+def u(name):
+    return URI(f"http://g/{name}")
+
+
+@pytest.fixture()
+def graph():
+    g = RDFGraph()
+    g.add(Triple(u("a"), u("p"), u("b")))
+    g.add(Triple(u("a"), u("q"), u("c")))
+    g.add(Triple(u("d"), u("p"), u("b")))
+    g.add(Triple(u("x"), RDF_TYPE, u("C")))
+    return g
+
+
+class TestMutation:
+    def test_add_new(self, graph):
+        assert graph.add(Triple(u("n"), u("p"), u("m")))
+        assert len(graph) == 5
+
+    def test_add_duplicate(self, graph):
+        assert not graph.add(Triple(u("a"), u("p"), u("b")))
+        assert len(graph) == 4
+
+    def test_add_rejects_patterns(self):
+        with pytest.raises(ValueError):
+            RDFGraph().add(Triple(Variable("x"), u("p"), u("b")))
+
+    def test_discard(self, graph):
+        assert graph.discard(Triple(u("a"), u("p"), u("b")))
+        assert len(graph) == 3
+        assert not graph.discard(Triple(u("a"), u("p"), u("b")))
+
+    def test_discard_cleans_indexes(self, graph):
+        graph.discard(Triple(u("x"), RDF_TYPE, u("C")))
+        assert list(graph.triples(None, RDF_TYPE, None)) == []
+
+    def test_add_all_counts_new(self, graph):
+        added = graph.add_all(
+            [Triple(u("a"), u("p"), u("b")), Triple(u("z"), u("p"), u("b"))]
+        )
+        assert added == 1
+
+
+class TestLookup:
+    def test_full_wildcard(self, graph):
+        assert len(list(graph.triples())) == 4
+
+    def test_by_subject(self, graph):
+        assert len(list(graph.triples(s=u("a")))) == 2
+
+    def test_by_property(self, graph):
+        assert len(list(graph.triples(p=u("p")))) == 2
+
+    def test_by_object(self, graph):
+        assert len(list(graph.triples(o=u("b")))) == 2
+
+    def test_bound_pair(self, graph):
+        matches = list(graph.triples(s=u("a"), p=u("p")))
+        assert matches == [Triple(u("a"), u("p"), u("b"))]
+
+    def test_fully_bound(self, graph):
+        assert len(list(graph.triples(u("a"), u("p"), u("b")))) == 1
+
+    def test_no_match(self, graph):
+        assert list(graph.triples(s=u("missing"))) == []
+
+    def test_subjects(self, graph):
+        assert graph.subjects(p=u("p")) == {u("a"), u("d")}
+
+    def test_objects(self, graph):
+        assert graph.objects(s=u("a"), p=u("q")) == {u("c")}
+
+    def test_predicates(self, graph):
+        assert graph.predicates() == {u("p"), u("q"), RDF_TYPE}
+
+
+class TestViews:
+    def test_schema_data_split(self):
+        g = RDFGraph()
+        g.add(Triple(u("A"), RDFS_SUBCLASS, u("B")))
+        g.add(Triple(u("i"), RDF_TYPE, u("A")))
+        assert list(g.schema_triples()) == [Triple(u("A"), RDFS_SUBCLASS, u("B"))]
+        assert list(g.data_triples()) == [Triple(u("i"), RDF_TYPE, u("A"))]
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add(Triple(u("new"), u("p"), u("b")))
+        assert len(clone) == len(graph) + 1
+
+    def test_equality(self, graph):
+        assert graph == graph.copy()
+
+    def test_values(self):
+        g = RDFGraph([Triple(u("a"), u("p"), u("b"))])
+        assert g.values() == {u("a"), u("p"), u("b")}
+
+    def test_contains(self, graph):
+        assert Triple(u("a"), u("p"), u("b")) in graph
+        assert Triple(u("a"), u("p"), u("zzz")) not in graph

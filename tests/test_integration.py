@@ -1,0 +1,104 @@
+"""End-to-end integration: the full pipeline on benchmark data.
+
+Every strategy on every engine must return the answer set defined by
+the standard (evaluation over the saturation), for a representative
+slice of the LUBM and DBLP workloads.
+"""
+
+import pytest
+
+from repro.answering import QueryAnswerer
+from repro.cost import CostModel
+from repro.datasets import dblp_workload, lubm_workload, motivating_q1, motivating_q2
+from repro.engine import NATIVE_HASH, NATIVE_MERGE, NativeEngine, SQLiteEngine
+from repro.query import evaluate
+from repro.reasoning import saturate
+
+_LUBM_SAMPLE = ("q1", "Q02", "Q05", "Q12", "Q15", "Q23", "Q26")
+_DBLP_SAMPLE = ("Q02", "Q04", "Q07", "Q09")
+
+
+def _ground_truth(db, query):
+    return evaluate(query, saturate(db.facts_graph(), db.schema))
+
+
+@pytest.fixture(scope="module")
+def lubm_truth(lubm_db3):
+    entries = {w.name: w.query for w in lubm_workload()}
+    entries["q1"] = motivating_q1().query
+    entries["q2"] = motivating_q2().query
+    return {
+        name: _ground_truth(lubm_db3, entries[name]) for name in _LUBM_SAMPLE
+    }, entries
+
+
+@pytest.fixture(scope="module")
+def dblp_truth(dblp_db):
+    entries = {w.name: w.query for w in dblp_workload()}
+    return {
+        name: _ground_truth(dblp_db, entries[name]) for name in _DBLP_SAMPLE
+    }, entries
+
+
+@pytest.fixture(
+    scope="module",
+    params=["native-hash", "native-merge", "sqlite"],
+)
+def lubm_answerer(request, lubm_db3):
+    if request.param == "native-hash":
+        engine = NativeEngine(lubm_db3, NATIVE_HASH)
+    elif request.param == "native-merge":
+        engine = NativeEngine(lubm_db3, NATIVE_MERGE)
+    else:
+        engine = SQLiteEngine(lubm_db3)
+    return QueryAnswerer(lubm_db3, engine=engine, cost_model=CostModel(lubm_db3))
+
+
+class TestLUBMAllEnginesAllStrategies:
+    @pytest.mark.parametrize("name", _LUBM_SAMPLE)
+    @pytest.mark.parametrize("strategy", ["ucq", "scq", "gcov"])
+    def test_answers_match_standard(self, lubm_answerer, lubm_truth, name, strategy):
+        from repro.engine import EngineFailure
+
+        truth, entries = lubm_truth
+        try:
+            report = lubm_answerer.answer(entries[name], strategy=strategy)
+        except EngineFailure:
+            if strategy == "gcov":
+                raise  # the paper's GCov "always completes" — so must ours
+            # Fixed UCQ/SCQ reformulations legitimately exceed engine
+            # limits (the paper's missing bars); correctness is vacuous.
+            return
+        assert report.answers == truth[name], (name, strategy)
+
+    @pytest.mark.parametrize("name", _LUBM_SAMPLE)
+    def test_gcov_always_completes(self, lubm_answerer, lubm_truth, name):
+        truth, entries = lubm_truth
+        report = lubm_answerer.answer(entries[name], strategy="gcov")
+        assert report.answers == truth[name]
+
+
+class TestDBLP:
+    @pytest.mark.parametrize("name", _DBLP_SAMPLE)
+    @pytest.mark.parametrize("strategy", ["ucq", "gcov"])
+    def test_answers_match_standard(self, dblp_db, dblp_truth, name, strategy):
+        truth, entries = dblp_truth
+        answerer = QueryAnswerer(dblp_db)
+        report = answerer.answer(entries[name], strategy=strategy)
+        assert report.answers == truth[name], (name, strategy)
+
+    def test_ten_atom_query_runs_with_gcov(self, dblp_db):
+        """The 10-atom DBLP Q10 defeats ECov; GCov handles it."""
+        query = next(w.query for w in dblp_workload() if w.name == "Q10")
+        answerer = QueryAnswerer(dblp_db)
+        report = answerer.answer(query, strategy="gcov")
+        truth = _ground_truth(dblp_db, query)
+        assert report.answers == truth
+
+
+class TestECovSample:
+    def test_ecov_matches_gcov_answers(self, lubm_db3, lubm_truth):
+        truth, entries = lubm_truth
+        answerer = QueryAnswerer(lubm_db3)
+        report = answerer.answer(entries["q1"], strategy="ecov")
+        assert report.answers == truth["q1"]

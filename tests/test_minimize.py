@@ -1,0 +1,199 @@
+"""Tests for redundant-triple detection and query minimization.
+
+Based on the paper's footnote 3 example: "when looking for x such that
+x is a person and x has a social security number, if we know that only
+people have such numbers, the triple 'x is a person' is redundant."
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query import BGPQuery, evaluate
+from repro.rdf import RDFGraph, RDFSchema, RDF_TYPE, Triple, URI, Variable
+from repro.reasoning import saturate
+from repro.reformulation import (
+    Reformulator,
+    is_minimal,
+    minimize_query,
+    redundant_atoms,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def u(name):
+    return URI(f"http://mi/{name}")
+
+
+@pytest.fixture()
+def schema():
+    s = RDFSchema()
+    s.add_subclass(u("Student"), u("Person"))
+    s.add_domain(u("hasSSN"), u("Person"))
+    s.add_range(u("advisor"), u("Person"))
+    s.add_subproperty(u("worksFor"), u("memberOf"))
+    return s
+
+
+class TestFootnoteExample:
+    def test_person_with_ssn(self, schema):
+        """The paper's own example: 'x is a person' is redundant."""
+        query = BGPQuery(
+            [x], [Triple(x, RDF_TYPE, u("Person")), Triple(x, u("hasSSN"), y)]
+        )
+        assert redundant_atoms(query, schema) == [0]
+        minimal = minimize_query(query, schema)
+        assert len(minimal.body) == 1
+        assert minimal.body[0].p == u("hasSSN")
+
+
+class TestDetection:
+    def test_subclass_redundancy(self, schema):
+        query = BGPQuery(
+            [x],
+            [Triple(x, RDF_TYPE, u("Person")), Triple(x, RDF_TYPE, u("Student"))],
+        )
+        assert redundant_atoms(query, schema) == [0]
+
+    def test_range_redundancy(self, schema):
+        query = BGPQuery(
+            [y], [Triple(x, u("advisor"), y), Triple(y, RDF_TYPE, u("Person"))]
+        )
+        assert redundant_atoms(query, schema) == [1]
+
+    def test_subproperty_redundancy(self, schema):
+        query = BGPQuery(
+            [x], [Triple(x, u("memberOf"), y), Triple(x, u("worksFor"), y)]
+        )
+        assert redundant_atoms(query, schema) == [0]
+
+    def test_different_objects_not_redundant(self, schema):
+        query = BGPQuery(
+            [x], [Triple(x, u("memberOf"), y), Triple(x, u("worksFor"), z)]
+        )
+        assert redundant_atoms(query, schema) == []
+
+    def test_no_redundancy_in_independent_atoms(self, schema):
+        query = BGPQuery(
+            [x], [Triple(x, u("hasSSN"), y), Triple(x, u("memberOf"), z)]
+        )
+        assert is_minimal(query, schema)
+
+    def test_duplicate_atoms_keep_one(self, schema):
+        # Body is a set, so syntactic duplicates cannot occur; mutual
+        # entailment through a subclass cycle keeps exactly one side.
+        cyclic = RDFSchema()
+        cyclic.add_subclass(u("A"), u("B"))
+        cyclic.add_subclass(u("B"), u("A"))
+        query = BGPQuery(
+            [x], [Triple(x, RDF_TYPE, u("A")), Triple(x, RDF_TYPE, u("B"))]
+        )
+        dropped = redundant_atoms(query, cyclic)
+        assert len(dropped) == 1
+
+    def test_workload_queries_are_minimal(self, lubm_db):
+        """The paper's criterion (iv): no benchmark query has a
+        redundant triple."""
+        from repro.datasets import lubm_workload, motivating_q1, motivating_q2
+
+        for entry in [motivating_q1(), motivating_q2()] + lubm_workload():
+            assert is_minimal(entry.query, lubm_db.schema), entry.name
+
+
+class TestMinimization:
+    def test_head_variable_kept_safe(self, schema):
+        # y is distinguished and only occurs in the redundant atom:
+        # the atom must stay.
+        query = BGPQuery(
+            [x, y],
+            [Triple(x, u("worksFor"), y), Triple(x, u("memberOf"), y)],
+        )
+        minimal = minimize_query(query, schema)
+        assert evaluate_safe(minimal)
+
+    def test_iterates_to_fixpoint(self, schema):
+        query = BGPQuery(
+            [x],
+            [
+                Triple(x, RDF_TYPE, u("Person")),
+                Triple(x, RDF_TYPE, u("Student")),
+                Triple(x, u("hasSSN"), y),
+            ],
+        )
+        minimal = minimize_query(query, schema)
+        assert len(minimal.body) == 2  # Person dropped; Student + SSN stay
+
+    def test_minimization_shrinks_reformulation(self, schema):
+        reformulator = Reformulator(schema)
+        query = BGPQuery(
+            [x], [Triple(x, RDF_TYPE, u("Person")), Triple(x, u("hasSSN"), y)]
+        )
+        minimal = minimize_query(query, schema)
+        assert len(reformulator.reformulate(minimal)) < len(
+            reformulator.reformulate(query)
+        )
+
+
+def evaluate_safe(query):
+    head_vars = {t for t in query.head if isinstance(t, Variable)}
+    return head_vars <= query.variables()
+
+
+# ----------------------------------------------------------------------
+# Property: minimization preserves certain answers.
+# ----------------------------------------------------------------------
+_CLASSES = [u(f"C{i}") for i in range(3)]
+_PROPERTIES = [u(f"P{i}") for i in range(3)]
+_INDIVIDUALS = [u(f"i{i}") for i in range(5)]
+
+
+@st.composite
+def _case(draw):
+    schema = RDFSchema()
+    for _ in range(draw(st.integers(0, 3))):
+        schema.add_subclass(draw(st.sampled_from(_CLASSES)), draw(st.sampled_from(_CLASSES)))
+    for _ in range(draw(st.integers(0, 2))):
+        schema.add_subproperty(
+            draw(st.sampled_from(_PROPERTIES)), draw(st.sampled_from(_PROPERTIES))
+        )
+    for _ in range(draw(st.integers(0, 2))):
+        schema.add_domain(draw(st.sampled_from(_PROPERTIES)), draw(st.sampled_from(_CLASSES)))
+    for _ in range(draw(st.integers(0, 2))):
+        schema.add_range(draw(st.sampled_from(_PROPERTIES)), draw(st.sampled_from(_CLASSES)))
+    facts = [
+        Triple(
+            draw(st.sampled_from(_INDIVIDUALS)),
+            draw(st.sampled_from(_PROPERTIES)),
+            draw(st.sampled_from(_INDIVIDUALS)),
+        )
+        for _ in range(draw(st.integers(1, 15)))
+    ] + [
+        Triple(draw(st.sampled_from(_INDIVIDUALS)), RDF_TYPE, draw(st.sampled_from(_CLASSES)))
+        for _ in range(draw(st.integers(0, 6)))
+    ]
+    variables = [Variable("a"), Variable("b")]
+    atoms = []
+    for _ in range(draw(st.integers(1, 3))):
+        if draw(st.booleans()):
+            atoms.append(
+                Triple(variables[0], RDF_TYPE, draw(st.sampled_from(_CLASSES)))
+            )
+        else:
+            atoms.append(
+                Triple(
+                    variables[0],
+                    draw(st.sampled_from(_PROPERTIES)),
+                    draw(st.sampled_from(variables + _INDIVIDUALS)),
+                )
+            )
+    return schema, facts, BGPQuery([variables[0]], atoms)
+
+
+@settings(max_examples=80, deadline=None)
+@given(case=_case())
+def test_minimization_preserves_certain_answers(case):
+    schema, facts, query = case
+    saturated = saturate(RDFGraph(facts), schema)
+    minimal = minimize_query(query, schema)
+    assert evaluate(minimal, saturated) == evaluate(query, saturated)
+    assert len(minimal.body) <= len(query.body)

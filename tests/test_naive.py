@@ -1,0 +1,115 @@
+"""Unit tests for the reference (naive) evaluator."""
+
+import pytest
+
+from repro.query import BGPQuery, JUCQ, UCQ, evaluate
+from repro.rdf import BlankNode, Literal, RDFGraph, RDF_TYPE, Triple, URI, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def u(name):
+    return URI(f"http://n/{name}")
+
+
+@pytest.fixture()
+def graph():
+    return RDFGraph(
+        [
+            Triple(u("a"), u("p"), u("b")),
+            Triple(u("b"), u("p"), u("c")),
+            Triple(u("a"), u("q"), u("a")),
+            Triple(u("a"), RDF_TYPE, u("C")),
+            Triple(u("b"), RDF_TYPE, u("C")),
+        ]
+    )
+
+
+class TestCQEvaluation:
+    def test_single_atom(self, graph):
+        q = BGPQuery([x, y], [Triple(x, u("p"), y)])
+        assert evaluate(q, graph) == {(u("a"), u("b")), (u("b"), u("c"))}
+
+    def test_join(self, graph):
+        q = BGPQuery([x, z], [Triple(x, u("p"), y), Triple(y, u("p"), z)])
+        assert evaluate(q, graph) == {(u("a"), u("c"))}
+
+    def test_constant_selection(self, graph):
+        q = BGPQuery([x], [Triple(x, u("p"), u("c"))])
+        assert evaluate(q, graph) == {(u("b"),)}
+
+    def test_repeated_variable_in_atom(self, graph):
+        q = BGPQuery([x], [Triple(x, u("q"), x)])
+        assert evaluate(q, graph) == {(u("a"),)}
+
+    def test_projection_dedups(self, graph):
+        q = BGPQuery([y], [Triple(x, RDF_TYPE, y)])
+        assert evaluate(q, graph) == {(u("C"),)}
+
+    def test_boolean_query(self, graph):
+        q = BGPQuery([], [Triple(u("a"), u("p"), u("b"))])
+        assert evaluate(q, graph) == {()}
+
+    def test_boolean_query_false(self, graph):
+        q = BGPQuery([], [Triple(u("a"), u("p"), u("zzz"))])
+        assert evaluate(q, graph) == frozenset()
+
+    def test_empty_body_constant_head(self, graph):
+        q = BGPQuery([u("k")], [])
+        assert evaluate(q, graph) == {(u("k"),)}
+
+    def test_blank_node_acts_as_variable(self, graph):
+        q = BGPQuery([x], [Triple(x, u("p"), BlankNode("any"))])
+        assert evaluate(q, graph) == {(u("a"),), (u("b"),)}
+
+    def test_cartesian_product(self, graph):
+        q = BGPQuery([x, y], [Triple(x, u("q"), x), Triple(y, u("p"), u("c"))])
+        assert evaluate(q, graph) == {(u("a"), u("b"))}
+
+    def test_constant_head_position(self, graph):
+        q = BGPQuery([x, u("C")], [Triple(x, RDF_TYPE, u("C"))])
+        assert evaluate(q, graph) == {(u("a"), u("C")), (u("b"), u("C"))}
+
+
+class TestUCQEvaluation:
+    def test_union(self, graph):
+        a = BGPQuery([x], [Triple(x, u("p"), u("b"))])
+        b = BGPQuery([x], [Triple(x, u("p"), u("c"))])
+        assert evaluate(UCQ([a, b]), graph) == {(u("a"),), (u("b"),)}
+
+    def test_overlap_dedup(self, graph):
+        a = BGPQuery([x], [Triple(x, RDF_TYPE, u("C"))])
+        b = BGPQuery([x], [Triple(x, u("p"), y)])
+        assert evaluate(UCQ([a, b]), graph) == {(u("a"),), (u("b"),)}
+
+
+class TestJUCQEvaluation:
+    def test_join_of_unions(self, graph):
+        left = UCQ([BGPQuery([x, y], [Triple(x, u("p"), y)])])
+        right = UCQ([BGPQuery([y, z], [Triple(y, u("p"), z)])])
+        j = JUCQ([x, z], [left, right])
+        assert evaluate(j, graph) == {(u("a"), u("c"))}
+
+    def test_join_empty_side(self, graph):
+        left = UCQ([BGPQuery([x], [Triple(x, u("p"), u("nothing"))])])
+        right = UCQ([BGPQuery([x], [Triple(x, RDF_TYPE, u("C"))])])
+        j = JUCQ([x], [left, right])
+        assert evaluate(j, graph) == frozenset()
+
+    def test_single_operand(self, graph):
+        operand = UCQ([BGPQuery([x], [Triple(x, RDF_TYPE, u("C"))])])
+        j = JUCQ([x], [operand])
+        assert evaluate(j, graph) == {(u("a"),), (u("b"),)}
+
+    def test_matches_flat_cq(self, graph):
+        """JUCQ of singleton unions ≡ the underlying conjunctive query."""
+        flat = BGPQuery([x, z], [Triple(x, u("p"), y), Triple(y, u("p"), z)])
+        left = UCQ([BGPQuery([x, y], [Triple(x, u("p"), y)])])
+        right = UCQ([BGPQuery([y, z], [Triple(y, u("p"), z)])])
+        assert evaluate(JUCQ([x, z], [left, right]), graph) == evaluate(flat, graph)
+
+
+class TestDispatch:
+    def test_unknown_type(self, graph):
+        with pytest.raises(TypeError):
+            evaluate("not a query", graph)

@@ -1,0 +1,99 @@
+"""Unit and property tests for N-Triples IO."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdf import BlankNode, Literal, RDFGraph, Triple, URI, dump_graph, load_graph
+from repro.rdf.ntriples import (
+    NTriplesError,
+    parse_line,
+    read_ntriples,
+    serialize_triple,
+    write_ntriples,
+)
+
+
+class TestParsing:
+    def test_uri_triple(self):
+        t = parse_line("<http://a> <http://p> <http://b> .")
+        assert t == Triple(URI("http://a"), URI("http://p"), URI("http://b"))
+
+    def test_literal_object(self):
+        t = parse_line('<http://a> <http://p> "hello world" .')
+        assert t.o == Literal("hello world")
+
+    def test_blank_subject(self):
+        t = parse_line("_:b1 <http://p> <http://b> .")
+        assert t.s == BlankNode("b1")
+
+    def test_escapes(self):
+        t = parse_line('<http://a> <http://p> "line\\nnext\\t\\"q\\"" .')
+        assert t.o == Literal('line\nnext\t"q"')
+
+    def test_datatype_suffix_collapsed(self):
+        t = parse_line('<http://a> <http://p> "12"^^<http://int> .')
+        assert t.o == Literal("12")
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n<http://a> <http://p> <http://b> .\n"
+        assert len(list(read_ntriples(text))) == 1
+
+    def test_missing_dot(self):
+        with pytest.raises(NTriplesError):
+            parse_line("<http://a> <http://p> <http://b>")
+
+    def test_unterminated_uri(self):
+        with pytest.raises(NTriplesError):
+            parse_line("<http://a <http://p> <http://b> .")
+
+    def test_unterminated_literal(self):
+        with pytest.raises(NTriplesError):
+            parse_line('<http://a> <http://p> "open .')
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesError) as info:
+            list(read_ntriples("<http://a> <http://p> <http://b> .\nbroken\n"))
+        assert info.value.line_number == 2
+
+
+class TestSerialization:
+    def test_round_trip_line(self):
+        t = Triple(URI("http://a"), URI("http://p"), Literal('say "hi"\n'))
+        assert parse_line(serialize_triple(t)) == t
+
+    def test_write_count(self):
+        sink = io.StringIO()
+        n = write_ntriples(
+            [Triple(URI("a"), URI("p"), URI("b")), Triple(URI("c"), URI("p"), URI("d"))],
+            sink,
+        )
+        assert n == 2
+        assert sink.getvalue().count("\n") == 2
+
+    def test_graph_round_trip(self):
+        g = RDFGraph(
+            [
+                Triple(URI("http://a"), URI("http://p"), BlankNode("z")),
+                Triple(URI("http://a"), URI("http://q"), Literal("text")),
+            ]
+        )
+        assert load_graph(dump_graph(g)) == g
+
+
+_term = st.one_of(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters="<>\"\\"),
+        min_size=1,
+        max_size=12,
+    ).map(lambda s: URI("http://t/" + s)),
+    st.text(min_size=1, max_size=20).filter(lambda s: s.strip()).map(Literal),
+    st.from_regex(r"[A-Za-z][A-Za-z0-9]{0,8}", fullmatch=True).map(BlankNode),
+)
+
+
+@given(st.lists(st.tuples(_term, _term, _term), min_size=1, max_size=20))
+def test_round_trip_property(rows):
+    graph = RDFGraph(Triple(s, p, o) for s, p, o in rows)
+    assert load_graph(dump_graph(graph)) == graph

@@ -1,0 +1,108 @@
+"""Unit tests for the SPARQL BGP parser."""
+
+import pytest
+
+from repro.query import SPARQLSyntaxError, parse_query
+from repro.rdf import Literal, RDF_TYPE, URI, Variable
+
+
+class TestBasics:
+    def test_single_triple(self):
+        q = parse_query("SELECT ?x WHERE { ?x <http://p> <http://o> }")
+        assert q.arity == 1
+        assert len(q.body) == 1
+        assert q.body[0].p == URI("http://p")
+
+    def test_multiple_triples_dot_separated(self):
+        q = parse_query(
+            "SELECT ?x ?y WHERE { ?x <http://p> ?y . ?y <http://q> ?z }"
+        )
+        assert len(q.body) == 2
+
+    def test_trailing_dot_allowed(self):
+        q = parse_query("SELECT ?x WHERE { ?x <http://p> ?y . }")
+        assert len(q.body) == 1
+
+    def test_a_is_rdf_type(self):
+        q = parse_query("SELECT ?x WHERE { ?x a <http://C> }")
+        assert q.body[0].p == RDF_TYPE
+
+    def test_literal_object(self):
+        q = parse_query('SELECT ?x WHERE { ?x <http://p> "1996" }')
+        assert q.body[0].o == Literal("1996")
+
+    def test_literal_escapes(self):
+        q = parse_query('SELECT ?x WHERE { ?x <http://p> "a\\"b\\nc" }')
+        assert q.body[0].o == Literal('a"b\nc')
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("select ?x where { ?x <http://p> ?y }")
+        assert q.arity == 1
+
+    def test_comments_ignored(self):
+        q = parse_query(
+            "SELECT ?x # head\nWHERE { ?x <http://p> ?y # atom\n}"
+        )
+        assert len(q.body) == 1
+
+    def test_name_attached(self):
+        q = parse_query("SELECT ?x WHERE { ?x <http://p> ?y }", name="Q7")
+        assert q.name == "Q7"
+
+
+class TestPrefixes:
+    def test_default_rdf_prefix(self):
+        q = parse_query("SELECT ?x WHERE { ?x rdf:type ?y }")
+        assert q.body[0].p == RDF_TYPE
+
+    def test_default_rdfs_prefix(self):
+        q = parse_query("SELECT ?x WHERE { ?x rdfs:subClassOf ?y }")
+        assert "rdf-schema#subClassOf" in q.body[0].p.value
+
+    def test_custom_prefix(self):
+        q = parse_query(
+            "PREFIX ub: <http://u#> SELECT ?x WHERE { ?x ub:memberOf ?y }"
+        )
+        assert q.body[0].p == URI("http://u#memberOf")
+
+    def test_multiple_prefixes(self):
+        q = parse_query(
+            "PREFIX a: <http://a#> PREFIX b: <http://b#> "
+            "SELECT ?x WHERE { ?x a:p ?y . ?y b:q ?z }"
+        )
+        assert q.body[0].p == URI("http://a#p")
+        assert q.body[1].p == URI("http://b#q")
+
+    def test_undeclared_prefix_fails(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x nope:p ?y }")
+
+
+class TestErrors:
+    def test_empty_select(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT WHERE { ?x <http://p> ?y }")
+
+    def test_empty_bgp(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { }")
+
+    def test_missing_where(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x { ?x <http://p> ?y }")
+
+    def test_unclosed_brace(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT 5")
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT ?missing WHERE { ?x <http://p> ?y }")
+
+    def test_garbage_input(self):
+        with pytest.raises(SPARQLSyntaxError):
+            parse_query("@@@")

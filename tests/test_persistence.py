@@ -1,0 +1,71 @@
+"""Tests for on-disk database persistence."""
+
+import json
+
+import pytest
+
+from repro.datasets import build_lubm_database, lubm_query
+from repro.engine import NativeEngine
+from repro.storage import RDFDatabase, load_database, save_database
+
+
+@pytest.fixture(scope="module")
+def original():
+    return build_lubm_database(universities=1, seed=5)
+
+
+class TestRoundTrip:
+    def test_triples_preserved(self, original, tmp_path):
+        save_database(original, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert len(loaded) == len(original)
+        assert loaded.facts_graph() == original.facts_graph()
+
+    def test_schema_preserved(self, original, tmp_path):
+        save_database(original, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert set(loaded.schema.to_triples()) == set(original.schema.to_triples())
+
+    def test_queries_agree(self, original, tmp_path):
+        save_database(original, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        query = lubm_query("Q04")
+        assert NativeEngine(loaded).evaluate(query) == NativeEngine(
+            original
+        ).evaluate(query)
+
+    def test_dictionary_codes_stable(self, original, tmp_path):
+        save_database(original, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        for code in range(0, len(original.dictionary), 97):
+            assert loaded.dictionary.decode(code) == original.dictionary.decode(code)
+
+    def test_empty_database(self, tmp_path):
+        empty = RDFDatabase()
+        empty.load_facts([])
+        save_database(empty, tmp_path / "empty")
+        assert len(load_database(tmp_path / "empty")) == 0
+
+
+class TestValidation:
+    def test_version_checked(self, original, tmp_path):
+        save_database(original, tmp_path / "db")
+        meta_path = tmp_path / "db" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_database(tmp_path / "db")
+
+    def test_count_checked(self, original, tmp_path):
+        save_database(original, tmp_path / "db")
+        meta_path = tmp_path / "db" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["triples"] += 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_database(tmp_path / "db")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_database(tmp_path / "nope")

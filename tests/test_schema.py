@@ -1,0 +1,144 @@
+"""Unit tests for RDFSchema and its closure."""
+
+import pytest
+
+from repro.rdf import (
+    RDFSchema,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASS,
+    RDFS_SUBPROPERTY,
+    RDF_TYPE,
+    Triple,
+    URI,
+)
+from repro.rdf.schema import split_graph
+
+
+def u(name):
+    return URI(f"http://s/{name}")
+
+
+@pytest.fixture()
+def chain_schema():
+    """A ⊑ B ⊑ C; p ⊑ q ⊑ r; domain(q)=B; range(r)=C."""
+    schema = RDFSchema()
+    schema.add_subclass(u("A"), u("B"))
+    schema.add_subclass(u("B"), u("C"))
+    schema.add_subproperty(u("p"), u("q"))
+    schema.add_subproperty(u("q"), u("r"))
+    schema.add_domain(u("q"), u("B"))
+    schema.add_range(u("r"), u("C"))
+    return schema
+
+
+class TestTransitivity:
+    def test_superclasses_transitive(self, chain_schema):
+        assert chain_schema.superclasses(u("A")) == {u("B"), u("C")}
+
+    def test_subclasses_transitive(self, chain_schema):
+        assert chain_schema.subclasses(u("C")) == {u("A"), u("B")}
+
+    def test_strictness(self, chain_schema):
+        assert u("A") not in chain_schema.superclasses(u("A"))
+
+    def test_superproperties_transitive(self, chain_schema):
+        assert chain_schema.superproperties(u("p")) == {u("q"), u("r")}
+
+    def test_is_subclass(self, chain_schema):
+        assert chain_schema.is_subclass(u("A"), u("C"))
+        assert not chain_schema.is_subclass(u("C"), u("A"))
+
+    def test_is_subproperty(self, chain_schema):
+        assert chain_schema.is_subproperty(u("p"), u("r"))
+
+    def test_cycle_closure_terminates(self):
+        schema = RDFSchema()
+        schema.add_subclass(u("X"), u("Y"))
+        schema.add_subclass(u("Y"), u("X"))
+        assert u("Y") in schema.superclasses(u("X"))
+        assert u("X") in schema.superclasses(u("Y"))
+
+
+class TestDomainRangeClosure:
+    def test_domain_inherited_down_subproperties(self, chain_schema):
+        # p ⊑ q, domain(q) = B ⟹ domain(p) ⊇ {B, C}.
+        assert u("B") in chain_schema.domains(u("p"))
+
+    def test_domain_widened_up_subclasses(self, chain_schema):
+        assert u("C") in chain_schema.domains(u("q"))
+
+    def test_range_inherited_and_widened(self, chain_schema):
+        assert chain_schema.ranges(u("p")) == {u("C")}
+        assert chain_schema.ranges(u("q")) == {u("C")}
+
+    def test_properties_with_domain(self, chain_schema):
+        assert chain_schema.properties_with_domain(u("B")) == {u("p"), u("q")}
+        assert chain_schema.properties_with_domain(u("C")) == {u("p"), u("q")}
+
+    def test_properties_with_range(self, chain_schema):
+        assert chain_schema.properties_with_range(u("C")) == {u("p"), u("q"), u("r")}
+
+    def test_no_spurious_domains(self, chain_schema):
+        assert chain_schema.domains(u("r")) == frozenset()
+
+
+class TestVocabulary:
+    def test_classes_collected(self, chain_schema):
+        assert chain_schema.classes == {u("A"), u("B"), u("C")}
+
+    def test_properties_collected(self, chain_schema):
+        assert chain_schema.properties == {u("p"), u("q"), u("r")}
+
+    def test_declare_class(self):
+        schema = RDFSchema()
+        schema.declare_class(u("Lonely"))
+        assert schema.classes == {u("Lonely")}
+
+    def test_declare_property(self):
+        schema = RDFSchema()
+        schema.declare_property(u("lonelyProp"))
+        assert schema.properties == {u("lonelyProp")}
+
+
+class TestMutationInvalidation:
+    def test_closure_recomputed_after_add(self, chain_schema):
+        assert u("D") not in chain_schema.superclasses(u("A"))
+        chain_schema.add_subclass(u("C"), u("D"))
+        assert u("D") in chain_schema.superclasses(u("A"))
+
+
+class TestTripleInterface:
+    def test_add_triple_dispatch(self):
+        schema = RDFSchema()
+        assert schema.add_triple(Triple(u("A"), RDFS_SUBCLASS, u("B")))
+        assert schema.add_triple(Triple(u("p"), RDFS_SUBPROPERTY, u("q")))
+        assert schema.add_triple(Triple(u("p"), RDFS_DOMAIN, u("A")))
+        assert schema.add_triple(Triple(u("p"), RDFS_RANGE, u("B")))
+        assert not schema.add_triple(Triple(u("i"), RDF_TYPE, u("A")))
+        assert len(schema) == 4
+
+    def test_to_triples_round_trip(self, chain_schema):
+        rebuilt = RDFSchema.from_triples(chain_schema.to_triples())
+        assert set(rebuilt.to_triples()) == set(chain_schema.to_triples())
+
+    def test_closure_triples_include_derived(self, chain_schema):
+        closure = set(chain_schema.closure_triples())
+        assert Triple(u("A"), RDFS_SUBCLASS, u("C")) in closure
+        assert Triple(u("p"), RDFS_DOMAIN, u("C")) in closure
+
+    def test_len_counts_asserted_only(self, chain_schema):
+        assert len(chain_schema) == 6
+
+
+class TestSplitGraph:
+    def test_split(self):
+        triples = [
+            Triple(u("A"), RDFS_SUBCLASS, u("B")),
+            Triple(u("i"), RDF_TYPE, u("A")),
+            Triple(u("i"), u("p"), u("j")),
+        ]
+        schema, facts = split_graph(triples)
+        assert len(schema) == 1
+        assert len(facts) == 2
+        assert Triple(u("i"), RDF_TYPE, u("A")) in facts

@@ -1,0 +1,188 @@
+"""Unit tests for dictionary encoding and the indexed triple table."""
+
+import numpy as np
+import pytest
+
+from repro.rdf import Literal, RDF_TYPE, Triple, URI, Variable
+from repro.storage import Dictionary, RDFDatabase, TripleTable
+from repro.storage.triple_table import PERMUTATIONS
+
+
+def u(name):
+    return URI(f"http://st/{name}")
+
+
+class TestDictionary:
+    def test_encode_stable(self):
+        d = Dictionary()
+        assert d.encode(u("a")) == d.encode(u("a"))
+
+    def test_codes_dense(self):
+        d = Dictionary()
+        codes = [d.encode(u(f"v{i}")) for i in range(5)]
+        assert codes == list(range(5))
+
+    def test_decode_inverse(self):
+        d = Dictionary()
+        code = d.encode(Literal("hello"))
+        assert d.decode(code) == Literal("hello")
+
+    def test_kind_disambiguation(self):
+        d = Dictionary()
+        assert d.encode(URI("x")) != d.encode(Literal("x"))
+
+    def test_lookup_without_allocation(self):
+        d = Dictionary()
+        assert d.lookup(u("missing")) is None
+        assert len(d) == 0
+
+    def test_variables_rejected(self):
+        with pytest.raises(TypeError):
+            Dictionary().encode(Variable("x"))
+
+    def test_stats(self):
+        d = Dictionary()
+        d.encode(u("a"))
+        d.encode(Literal("b"))
+        assert d.stats() == {"uris": 1, "literals": 1, "blank_nodes": 0}
+
+
+@pytest.fixture()
+def table():
+    t = TripleTable()
+    t.add_triples(
+        [
+            Triple(u("a"), u("p"), u("b")),
+            Triple(u("a"), u("p"), u("c")),
+            Triple(u("a"), u("q"), u("b")),
+            Triple(u("d"), u("p"), u("b")),
+            Triple(u("d"), u("q"), u("c")),
+        ]
+    )
+    t.freeze()
+    return t
+
+
+def code(table, name):
+    return table.dictionary.lookup(u(name))
+
+
+class TestTripleTable:
+    def test_len(self, table):
+        assert len(table) == 5
+
+    def test_duplicates_removed_on_freeze(self):
+        t = TripleTable()
+        t.add_triples([Triple(u("a"), u("p"), u("b"))] * 3)
+        t.freeze()
+        assert len(t) == 1
+
+    def test_full_scan(self, table):
+        assert table.match((None, None, None)).shape == (5, 3)
+
+    @pytest.mark.parametrize(
+        "pattern_names,expected",
+        [
+            (("a", None, None), 3),
+            ((None, "p", None), 3),
+            ((None, None, "b"), 3),
+            (("a", "p", None), 2),
+            ((None, "p", "b"), 2),
+            (("a", None, "b"), 2),
+            (("a", "p", "b"), 1),
+            (("d", "q", "b"), 0),
+        ],
+    )
+    def test_match_count_all_patterns(self, table, pattern_names, expected):
+        pattern = tuple(
+            None if n is None else code(table, n) for n in pattern_names
+        )
+        assert table.match_count(pattern) == expected
+        assert table.match(pattern).shape[0] == expected
+
+    def test_match_rows_in_spo_order(self, table):
+        rows = table.match((code(table, "a"), code(table, "p"), None))
+        decoded = {
+            (table.dictionary.decode(r[0]), table.dictionary.decode(r[2]))
+            for r in rows
+        }
+        assert decoded == {(u("a"), u("b")), (u("a"), u("c"))}
+
+    def test_contains(self, table):
+        assert table.contains(code(table, "a"), code(table, "p"), code(table, "b"))
+        assert not table.contains(code(table, "b"), code(table, "p"), code(table, "a"))
+
+    def test_distinct_count(self, table):
+        p = code(table, "p")
+        assert table.distinct_count((None, p, None), 0) == 2  # subjects a, d
+        assert table.distinct_count((None, p, None), 2) == 2  # objects b, c
+
+    def test_distinct_count_empty(self, table):
+        assert table.distinct_count((code(table, "b"), None, None), 2) == 0
+
+    def test_iter_matches(self, table):
+        rows = list(table.iter_matches((code(table, "d"), None, None)))
+        assert len(rows) == 2
+        assert all(isinstance(v, int) for row in rows for v in row)
+
+    def test_refreeze_after_adds(self, table):
+        table.add_triples([Triple(u("z"), u("p"), u("b"))])
+        table.freeze()
+        assert len(table) == 6
+
+    def test_add_block(self, table):
+        block = np.array([[0, 1, 2], [0, 1, 3]], dtype=np.int64)
+        table.add_block(block)
+        table.freeze()
+        assert len(table) >= 5
+
+    def test_add_block_shape_checked(self, table):
+        with pytest.raises(ValueError):
+            table.add_block(np.zeros((3, 2), dtype=np.int64))
+
+    def test_six_permutations_exist(self):
+        assert set(PERMUTATIONS) == {"spo", "sop", "pso", "pos", "osp", "ops"}
+
+    def test_bits_overflow_detected(self):
+        t = TripleTable(bits=2)
+        t.add_triples([Triple(u(f"v{i}"), u("p"), u("o")) for i in range(10)])
+        with pytest.raises(OverflowError):
+            t.freeze()
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            TripleTable(bits=25)
+
+    def test_empty_table(self):
+        t = TripleTable()
+        t.freeze()
+        assert len(t) == 0
+        assert t.match((None, None, None)).shape == (0, 3)
+
+
+class TestDatabase:
+    def test_from_triples_splits_schema(self, book_schema, book_facts):
+        from repro.rdf import RDFS_SUBCLASS
+
+        triples = list(book_facts) + list(book_schema.to_triples())
+        db = RDFDatabase.from_triples(triples)
+        assert len(db) == len(book_facts)
+        assert len(db.schema) == len(book_schema)
+
+    def test_facts_graph_round_trip(self, book_facts):
+        db = RDFDatabase.from_triples(book_facts)
+        assert set(db.facts_graph()) == set(book_facts)
+
+    def test_statistics_exact_counts(self, lubm_db):
+        stats = lubm_db.statistics
+        type_code = lubm_db.dictionary.lookup(RDF_TYPE)
+        total = stats.pattern_count((None, type_code, None))
+        rows = lubm_db.table.match((None, type_code, None))
+        assert total == rows.shape[0]
+
+    def test_statistics_memoized(self, lubm_db):
+        stats = lubm_db.statistics
+        type_code = lubm_db.dictionary.lookup(RDF_TYPE)
+        stats.pattern_count((None, type_code, None))
+        counts, _ = stats.probe_calls()
+        assert counts >= 1

@@ -1,0 +1,66 @@
+"""Full-workload correctness: every benchmark query, GCov vs saturation.
+
+Uses the 1-university LUBM store and a small DBLP store so the whole
+sweep stays fast; the benchmark harness re-checks the same property at
+benchmark scale.
+"""
+
+import pytest
+
+from repro.answering import QueryAnswerer
+from repro.datasets import (
+    build_dblp_database,
+    dblp_workload,
+    lubm_workload,
+    motivating_q1,
+)
+from repro.query import evaluate
+from repro.reasoning import saturate
+
+
+@pytest.fixture(scope="module")
+def lubm_pair(lubm_db):
+    return QueryAnswerer(lubm_db), saturate(lubm_db.facts_graph(), lubm_db.schema)
+
+
+@pytest.fixture(scope="module")
+def dblp_pair():
+    db = build_dblp_database(publications=800, seed=3)
+    return QueryAnswerer(db), saturate(db.facts_graph(), db.schema)
+
+
+_LUBM_FAST = [e for e in lubm_workload() if e.name not in ("Q28",)]
+
+
+@pytest.mark.parametrize("entry", _LUBM_FAST, ids=lambda e: e.name)
+def test_lubm_gcov_matches_saturation(lubm_pair, entry):
+    answerer, saturated = lubm_pair
+    expected = evaluate(entry.query, saturated)
+    report = answerer.answer(entry.query, strategy="gcov")
+    assert report.answers == expected
+
+
+def test_lubm_q1_motivating(lubm_pair):
+    answerer, saturated = lubm_pair
+    entry = motivating_q1()
+    assert answerer.answer(entry.query, strategy="gcov").answers == evaluate(
+        entry.query, saturated
+    )
+
+
+@pytest.mark.parametrize("entry", dblp_workload(), ids=lambda e: e.name)
+def test_dblp_gcov_matches_saturation(dblp_pair, entry):
+    answerer, saturated = dblp_pair
+    expected = evaluate(entry.query, saturated)
+    report = answerer.answer(entry.query, strategy="gcov")
+    assert report.answers == expected
+
+
+@pytest.mark.parametrize(
+    "entry", [e for e in lubm_workload() if e.name in ("Q01", "Q05", "Q09", "Q15")],
+    ids=lambda e: e.name,
+)
+def test_lubm_scq_matches_saturation(lubm_pair, entry):
+    answerer, saturated = lubm_pair
+    expected = evaluate(entry.query, saturated)
+    assert answerer.answer(entry.query, strategy="scq").answers == expected
