@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.answering import QueryAnswerer
 from repro.cost import CostConstants, CostModel, calibrate
@@ -46,6 +46,7 @@ from repro.engine import (
     SQLiteEngine,
 )
 from repro.reformulation import Reformulator
+from repro.telemetry import Tracer
 
 LUBM_SMALL_UNIVERSITIES = int(os.environ.get("REPRO_LUBM_SMALL", "12"))
 LUBM_LARGE_UNIVERSITIES = int(os.environ.get("REPRO_LUBM_LARGE", "48"))
@@ -219,6 +220,11 @@ class Measurement:
     reformulation_terms: int = 0
     covers_explored: int = 0
     detail: str = ""
+    #: Operator counters/series from the report (always attached on ok).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Flattened telemetry trace (``Tracer.to_dicts`` form) when the
+    #: measurement ran traced; ``None`` otherwise.
+    trace: Optional[List[Dict[str, Any]]] = None
 
     @property
     def total_ms(self) -> float:
@@ -243,15 +249,24 @@ def measure(
     strategy: str,
     engine_name: str,
     timeout_s: Optional[float] = None,
+    trace: bool = False,
 ) -> Measurement:
-    """Answer one query under one strategy/engine, with missing-bar semantics."""
+    """Answer one query under one strategy/engine, with missing-bar semantics.
+
+    With ``trace=True`` the answering call runs under a fresh
+    :class:`repro.telemetry.Tracer` and the flattened span/record list
+    is attached to the measurement.
+    """
     from repro.optimizer import SearchInfeasible
     from repro.reformulation import ReformulationLimitExceeded
 
     timeout_s = EVAL_TIMEOUT_S if timeout_s is None else timeout_s
+    tracer = Tracer() if trace else None
     qa = answerer(dataset, engine_name)
     try:
-        report = qa.answer(entry.query, strategy=strategy, timeout_s=timeout_s)
+        report = qa.answer(
+            entry.query, strategy=strategy, timeout_s=timeout_s, tracer=tracer
+        )
     except ReformulationLimitExceeded as error:
         return Measurement(
             dataset, entry.name, strategy, engine_name, "failed", detail=str(error)
@@ -276,6 +291,8 @@ def measure(
         answers=report.answer_count,
         reformulation_terms=report.reformulation_terms,
         covers_explored=report.covers_explored,
+        metrics=report.metrics,
+        trace=tracer.to_dicts() if tracer is not None else None,
     )
 
 
@@ -285,6 +302,7 @@ def run_grid(
     strategies: Sequence[str],
     engines: Sequence[str],
     timeout_s: Optional[float] = None,
+    trace: bool = False,
 ) -> List[Measurement]:
     """The full (query × strategy × engine) grid of one figure."""
     results = []
@@ -292,7 +310,7 @@ def run_grid(
         for entry in entries:
             for strategy in strategies:
                 results.append(
-                    measure(dataset, entry, strategy, engine_name, timeout_s)
+                    measure(dataset, entry, strategy, engine_name, timeout_s, trace)
                 )
     return results
 

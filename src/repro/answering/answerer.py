@@ -28,19 +28,27 @@ Strategies
 
 from __future__ import annotations
 
+import inspect
 import time
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from ..cost.model import CostModel
 from ..engine.evaluator import AnswerSet, NativeEngine
 from ..optimizer.ecov import ecov
 from ..optimizer.gcov import gcov
-from ..query.algebra import ucq_as_jucq
+from ..query.algebra import JUCQ, ucq_as_jucq
 from ..query.bgp import BGPQuery
 from ..reformulation.jucq import scq_reformulation
 from ..reformulation.reformulate import Reformulator
 from ..storage.database import RDFDatabase
+from ..telemetry import (
+    NULL_TRACER,
+    AccuracyRecord,
+    AccuracyRecorder,
+    MetricsRecorder,
+    trajectory,
+)
 
 #: The strategy names accepted by :meth:`QueryAnswerer.answer`.
 STRATEGIES = ("ucq", "pruned-ucq", "scq", "ecov", "gcov", "saturation")
@@ -58,16 +66,47 @@ class AnswerReport:
     reformulation_terms: int
     cover: Optional[frozenset] = None
     covers_explored: int = 0
+    #: Operator-level counters/series collected during evaluation
+    #: (:meth:`repro.telemetry.MetricsRecorder.as_dict` form).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Predicted-vs-observed samples (filled when accuracy tracking is on).
+    accuracy: List[AccuracyRecord] = field(default_factory=list)
+    #: Cost-model prediction for the evaluated query, when recorded.
+    predicted_cost: Optional[float] = None
+    #: Cardinality estimate for the evaluated query, when recorded.
+    predicted_cardinality: Optional[float] = None
 
     @property
     def total_s(self) -> float:
-        """End-to-end answering time (optimization + evaluation)."""
+        """Answering time: optimization + evaluation.
+
+        Parsing is *not* included — the answerer receives an
+        already-parsed :class:`~repro.query.bgp.BGPQuery`, so parse time
+        belongs to the caller (the CLI reports it separately).
+        """
         return self.optimization_s + self.evaluation_s
 
     @property
     def answer_count(self) -> int:
         """Number of distinct answers."""
         return len(self.answers)
+
+
+#: Per-engine-class cache: does ``evaluate`` accept tracer/metrics?
+_TELEMETRY_SUPPORT: Dict[type, bool] = {}
+
+
+def _engine_supports_telemetry(engine) -> bool:
+    kind = type(engine)
+    cached = _TELEMETRY_SUPPORT.get(kind)
+    if cached is None:
+        try:
+            parameters = inspect.signature(engine.evaluate).parameters
+            cached = "tracer" in parameters and "metrics" in parameters
+        except (TypeError, ValueError):
+            cached = False
+        _TELEMETRY_SUPPORT[kind] = cached
+    return cached
 
 
 class QueryAnswerer:
@@ -80,6 +119,7 @@ class QueryAnswerer:
         cost_model: Optional[CostModel] = None,
         reformulator: Optional[Reformulator] = None,
         ecov_max_covers: int = 100_000,
+        tracer=None,
     ):
         self.database = database
         self.engine = engine if engine is not None else NativeEngine(database)
@@ -92,39 +132,81 @@ class QueryAnswerer:
         #: Budget after which the exhaustive strategy declares the cover
         #: space infeasible (the paper's ECov on the 10-atom DBLP Q10).
         self.ecov_max_covers = ecov_max_covers
+        #: Default tracer for every call; the no-op tracer unless set.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._saturated_engine = None
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def plan(self, query: BGPQuery, strategy: str = "gcov"):
+    def plan(self, query: BGPQuery, strategy: str = "gcov", tracer=None):
         """The reformulated query a strategy would evaluate (no execution).
 
-        Returns ``(planned_query, search_result_or_None)``.
+        Returns ``(planned_query, search_result_or_None)``.  When a
+        live ``tracer`` is given (or set on the answerer), planning is
+        wrapped in ``reformulate``/``cover-search`` spans and the cover
+        search's exploration trajectory is attached as a ``search``
+        record.
         """
+        tracer = self.tracer if tracer is None else tracer
         if strategy == "ucq":
-            return ucq_as_jucq(self.reformulator.reformulate(query)), None
+            with tracer.span("reformulate", strategy=strategy) as span:
+                reformulated = self.reformulator.reformulate(query)
+                span.set(union_terms=len(reformulated))
+            return ucq_as_jucq(reformulated), None
         if strategy == "pruned-ucq":
             from ..reformulation.prune import prune_empty_conjuncts
 
-            pruned = prune_empty_conjuncts(
-                self.reformulator.reformulate(query), self.cost_model.estimator
-            )
+            with tracer.span("reformulate", strategy=strategy) as span:
+                reformulated = self.reformulator.reformulate(query)
+                span.set(union_terms=len(reformulated))
+            with tracer.span("prune") as span:
+                pruned = prune_empty_conjuncts(
+                    reformulated, self.cost_model.estimator
+                )
+                span.set(union_terms=len(pruned))
             return ucq_as_jucq(pruned), None
         if strategy == "scq":
-            if len(query.body) == 1:
-                return ucq_as_jucq(self.reformulator.reformulate(query)), None
-            return scq_reformulation(query, self.reformulator), None
-        if strategy == "ecov":
-            result = ecov(
-                query,
-                self.reformulator,
-                self.cost_model.cost,
-                max_covers=self.ecov_max_covers,
-            )
-            return result.jucq, result
-        if strategy == "gcov":
-            result = gcov(query, self.reformulator, self.cost_model.cost)
+            with tracer.span("reformulate", strategy=strategy) as span:
+                if len(query.body) == 1:
+                    planned = ucq_as_jucq(self.reformulator.reformulate(query))
+                else:
+                    planned = scq_reformulation(query, self.reformulator)
+                span.set(union_terms=planned.total_union_terms())
+            return planned, None
+        if strategy in ("ecov", "gcov"):
+            search_trace = [] if tracer.enabled else None
+            with tracer.span("cover-search", algorithm=strategy) as span:
+                if strategy == "ecov":
+                    result = ecov(
+                        query,
+                        self.reformulator,
+                        self.cost_model.cost,
+                        max_covers=self.ecov_max_covers,
+                        trace=search_trace,
+                    )
+                else:
+                    result = gcov(
+                        query,
+                        self.reformulator,
+                        self.cost_model.cost,
+                        trace=search_trace,
+                    )
+                span.set(
+                    covers_explored=result.covers_explored,
+                    estimated_cost=result.estimated_cost,
+                )
+            if search_trace:
+                tracer.record(
+                    "search",
+                    {
+                        "algorithm": strategy,
+                        "query": query.name,
+                        "covers_explored": result.covers_explored,
+                        "best_cost": result.estimated_cost,
+                        "trajectory": trajectory(search_trace),
+                    },
+                )
             return result.jucq, result
         if strategy == "saturation":
             return query, None
@@ -138,15 +220,49 @@ class QueryAnswerer:
         query: BGPQuery,
         strategy: str = "gcov",
         timeout_s: Optional[float] = None,
+        tracer=None,
+        record_accuracy: Optional[bool] = None,
     ) -> AnswerReport:
-        """Answer ``query`` under ``strategy``; see :class:`AnswerReport`."""
-        start = time.perf_counter()
-        planned, search = self.plan(query, strategy)
-        optimization_s = time.perf_counter() - start
-        engine = self._engine_for(strategy)
-        start = time.perf_counter()
-        answers = engine.evaluate(planned, timeout_s=timeout_s)
-        evaluation_s = time.perf_counter() - start
+        """Answer ``query`` under ``strategy``; see :class:`AnswerReport`.
+
+        ``tracer`` overrides the answerer's default tracer for this
+        call.  ``record_accuracy`` forces predicted-vs-observed (cost,
+        cardinality) sampling on or off; by default it follows the
+        tracer (accuracy needs extra estimator calls, so the untraced
+        hot path skips them).
+        """
+        tracer = self.tracer if tracer is None else tracer
+        if record_accuracy is None:
+            record_accuracy = tracer.enabled
+        metrics = MetricsRecorder()
+        with tracer.span("answer", query=query.name, strategy=strategy) as root:
+            start = time.perf_counter()
+            with tracer.span("plan", strategy=strategy):
+                planned, search = self.plan(query, strategy, tracer=tracer)
+            optimization_s = time.perf_counter() - start
+            engine = self._engine_for(strategy)
+            start = time.perf_counter()
+            with tracer.span(
+                "evaluate", engine=getattr(engine, "name", type(engine).__name__)
+            ) as eval_span:
+                if _engine_supports_telemetry(engine):
+                    answers = engine.evaluate(
+                        planned, timeout_s=timeout_s, tracer=tracer, metrics=metrics
+                    )
+                else:
+                    answers = engine.evaluate(planned, timeout_s=timeout_s)
+                eval_span.set(answers=len(answers))
+            evaluation_s = time.perf_counter() - start
+            root.set(answers=len(answers))
+        predicted_cost = None
+        predicted_rows = None
+        accuracy = AccuracyRecorder()
+        if record_accuracy and strategy != "saturation":
+            predicted_cost, predicted_rows = self._record_accuracy(
+                accuracy, query, planned, metrics, evaluation_s, len(answers)
+            )
+            for sample in accuracy.records:
+                tracer.record("accuracy", sample.to_dict())
         terms = 0 if strategy == "saturation" else planned.total_union_terms()
         return AnswerReport(
             query=query,
@@ -157,7 +273,53 @@ class QueryAnswerer:
             reformulation_terms=terms,
             cover=None if search is None else search.cover,
             covers_explored=0 if search is None else search.covers_explored,
+            metrics=metrics.as_dict(),
+            accuracy=accuracy.records,
+            predicted_cost=predicted_cost,
+            predicted_cardinality=predicted_rows,
         )
+
+    def _record_accuracy(
+        self,
+        accuracy: AccuracyRecorder,
+        query: BGPQuery,
+        planned,
+        metrics: MetricsRecorder,
+        evaluation_s: float,
+        answer_count: int,
+    ):
+        """Sample predicted-vs-observed for the query and its operands.
+
+        The saturation strategy is excluded by the caller: its engine
+        runs over the *saturated* store while the cost model is bound to
+        the original one, so the comparison would be meaningless.
+        """
+        estimator = self.cost_model.estimator
+        predicted_cost = self.cost_model.cost(planned)
+        predicted_rows = estimator.estimate(planned)
+        accuracy.record(
+            query.name,
+            predicted_cost=predicted_cost,
+            observed_s=evaluation_s,
+            predicted_rows=predicted_rows,
+            observed_rows=answer_count,
+        )
+        # Per-operand samples, when the native engine reported the
+        # materialized operand sizes in evaluation order.
+        operand_rows = metrics.series.get("jucq.operand_rows", [])
+        operand_s = metrics.series.get("jucq.operand_s", [])
+        if isinstance(planned, JUCQ) and len(operand_rows) == len(planned.operands):
+            for index, operand in enumerate(planned):
+                accuracy.record(
+                    f"{query.name}.operand[{index}]",
+                    predicted_cost=self.cost_model.ucq_eval_cost(operand),
+                    observed_s=(
+                        operand_s[index] if index < len(operand_s) else 0.0
+                    ),
+                    predicted_rows=estimator.ucq_cardinality(operand),
+                    observed_rows=operand_rows[index],
+                )
+        return predicted_cost, predicted_rows
 
     def _engine_for(self, strategy: str):
         if strategy != "saturation":

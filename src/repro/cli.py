@@ -17,17 +17,24 @@ Commands
 ``stats``
     Summarize a dataset: triples, dictionary, schema, class histogram.
 
+``profile``
+    Answer a query with full telemetry: span tree, operator counters,
+    cost-model accuracy (q-errors), and the optimizer's best-cost
+    trajectory; optionally export the trace as JSON lines.
+
 Examples::
 
     python -m repro generate lubm --universities 2 -o campus.nt
     python -m repro query campus.nt -q "SELECT ?x WHERE { ?x a ub:Professor }" \\
         --prefix ub=http://swat.cse.lehigh.edu/onto/univ-bench.owl#
     python -m repro explain campus.nt -q "..." --strategy gcov --sql
+    python -m repro profile campus.nt -q "..." --strategy gcov --trace out.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
 from typing import List, Optional
@@ -38,6 +45,7 @@ from .engine import NativeEngine, SQLiteEngine, to_sql
 from .query import parse_query
 from .rdf import read_ntriples, write_ntriples
 from .storage import RDFDatabase
+from .telemetry import Tracer
 
 
 def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
@@ -108,20 +116,135 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    """``repro query``: answer a BGP query over an N-Triples file."""
+    """``repro query``: answer a BGP query over an N-Triples file.
+
+    Reports the full phase split — parse time (excluded from the
+    report's ``total_s`` because the answerer receives a parsed query)
+    alongside the report's optimization/evaluation accounting — plus
+    the answer count and headline operator counters.
+    """
     database = _load_database(args.data)
-    query = _parse_with_prefixes(args.query, args.prefix)
+    tracer = Tracer() if args.trace else None
+    parse_start = time.perf_counter()
+    if tracer is not None:
+        with tracer.span("parse"):
+            query = _parse_with_prefixes(args.query, args.prefix)
+    else:
+        query = _parse_with_prefixes(args.query, args.prefix)
+    parse_s = time.perf_counter() - parse_start
     answerer = _answerer(database, args.engine)
-    report = answerer.answer(query, strategy=args.strategy, timeout_s=args.timeout)
+    report = answerer.answer(
+        query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
+    )
     for row in sorted(report.answers):
         print("\t".join(str(term) for term in row))
     print(
         f"# {report.answer_count} answers | strategy={report.strategy} "
-        f"| union terms={report.reformulation_terms} "
-        f"| optimize={report.optimization_s * 1000:.1f}ms "
-        f"| evaluate={report.evaluation_s * 1000:.1f}ms",
+        f"| union terms={report.reformulation_terms}",
         file=sys.stderr,
     )
+    print(
+        f"# parse={parse_s * 1000:.1f}ms "
+        f"| optimize={report.optimization_s * 1000:.1f}ms "
+        f"| evaluate={report.evaluation_s * 1000:.1f}ms "
+        f"| total={report.total_s * 1000:.1f}ms (total excludes parse)",
+        file=sys.stderr,
+    )
+    counters = report.metrics.get("counters", {})
+    if counters:
+        print(
+            f"# rows scanned={counters.get('scan.rows', 0)} "
+            f"| dedup {counters.get('dedup.input_rows', 0)}"
+            f"->{counters.get('dedup.output_rows', 0)} rows",
+            file=sys.stderr,
+        )
+    if tracer is not None:
+        written = tracer.export_jsonl(args.trace)
+        print(f"# trace: {written} records -> {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _print_span(span, indent: int = 0) -> None:
+    attributes = " ".join(
+        f"{key}={value}" for key, value in span.attributes.items()
+    )
+    suffix = f"  [{attributes}]" if attributes else ""
+    print(f"{'  ' * indent}{span.name:<{max(24 - 2 * indent, 1)}} "
+          f"{span.duration_s * 1000:9.3f}ms{suffix}")
+    for child in span.children:
+        _print_span(child, indent + 1)
+
+
+def _format_q(value: float) -> str:
+    return "inf" if math.isinf(value) else f"{value:.2f}"
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: answer one query with full telemetry output."""
+    database = _load_database(args.data)
+    tracer = Tracer()
+    with tracer.span("parse"):
+        query = _parse_with_prefixes(args.query, args.prefix)
+    answerer = _answerer(database, args.engine)
+    report = answerer.answer(
+        query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
+    )
+    print(
+        f"query {query.name}: {report.answer_count} answers "
+        f"| strategy={report.strategy} | engine={args.engine} "
+        f"| union terms={report.reformulation_terms}"
+    )
+    print("\n== spans ==")
+    for root in tracer.roots:
+        _print_span(root)
+    counters = report.metrics.get("counters", {})
+    if counters:
+        print("\n== operator counters ==")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            print(f"  {name:<{width}}  {counters[name]}")
+    series = report.metrics.get("series", {})
+    if series:
+        print("\n== series ==")
+        for name in sorted(series):
+            values = series[name]
+            rendered = ", ".join(
+                f"{v:.6f}" if isinstance(v, float) else str(v) for v in values
+            )
+            print(f"  {name}: [{rendered}]")
+    if report.accuracy:
+        print("\n== cost-model accuracy ==")
+        print(
+            f"  {'label':<24} {'pred cost':>12} {'obs s':>12} {'q(cost)':>8} "
+            f"{'pred rows':>12} {'obs rows':>9} {'q(card)':>8}"
+        )
+        for sample in report.accuracy:
+            print(
+                f"  {sample.label:<24} {sample.predicted_cost:>12.6f} "
+                f"{sample.observed_s:>12.6f} {_format_q(sample.cost_q_error):>8} "
+                f"{sample.predicted_rows:>12.1f} {sample.observed_rows:>9} "
+                f"{_format_q(sample.cardinality_q_error):>8}"
+            )
+    for record in tracer.records:
+        if record.get("type") != "search":
+            continue
+        steps = record["trajectory"]
+        print(
+            f"\n== {record['algorithm']} search trajectory "
+            f"({record['covers_explored']} covers explored) =="
+        )
+        best = float("inf")
+        for step in steps:
+            improved = step["best_cost"] < best
+            best = step["best_cost"]
+            if improved or step is steps[-1]:
+                print(
+                    f"  step {step['step']:>4}: cost={step['cost']:.6f} "
+                    f"best={step['best_cost']:.6f} fragments={step['fragments']}"
+                )
+    if args.trace:
+        written = tracer.export_jsonl(args.trace)
+        print(f"\nwrote {written} trace records to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -199,12 +322,25 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser("query", help="answer a query over a dataset")
     _add_query_arguments(query)
     query.add_argument("--timeout", type=float, default=None, help="seconds")
+    query.add_argument(
+        "--trace", metavar="FILE", help="export a JSON-lines telemetry trace"
+    )
     query.set_defaults(handler=cmd_query)
 
     explain = commands.add_parser("explain", help="show the chosen reformulation")
     _add_query_arguments(explain)
     explain.add_argument("--sql", action="store_true", help="print generated SQL")
     explain.set_defaults(handler=cmd_explain)
+
+    profile = commands.add_parser(
+        "profile", help="answer a query with full telemetry output"
+    )
+    _add_query_arguments(profile)
+    profile.add_argument("--timeout", type=float, default=None, help="seconds")
+    profile.add_argument(
+        "--trace", metavar="FILE", help="export a JSON-lines telemetry trace"
+    )
+    profile.set_defaults(handler=cmd_profile)
 
     stats = commands.add_parser("stats", help="summarize a dataset")
     stats.add_argument("data", help="N-Triples file")

@@ -33,6 +33,8 @@ from ..query.algebra import JUCQ, UCQ
 from ..query.bgp import BGPQuery
 from ..rdf.terms import Term, Variable
 from ..storage.database import RDFDatabase
+from ..telemetry.metrics import MetricsRecorder
+from ..telemetry.tracer import NULL_TRACER
 from .operators import cross_product, distinct, hash_join, merge_join, scan_atom, union_all
 from .relation import Relation
 
@@ -64,11 +66,16 @@ class EngineProfile:
     max_union_terms: int = 20_000
     max_intermediate_rows: int = 20_000_000
 
-    def join(self, left: Relation, right: Relation) -> Relation:
+    def join(
+        self,
+        left: Relation,
+        right: Relation,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> Relation:
         """Run this personality's join algorithm."""
         if self.join_algorithm == "merge":
-            return merge_join(left, right)
-        return hash_join(left, right)
+            return merge_join(left, right, metrics)
+        return hash_join(left, right, metrics)
 
 
 #: The native personalities used throughout the benchmarks.
@@ -106,21 +113,44 @@ class NativeEngine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def evaluate(self, query, timeout_s: Optional[float] = None) -> AnswerSet:
+    def evaluate(
+        self,
+        query,
+        timeout_s: Optional[float] = None,
+        tracer=None,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> AnswerSet:
         """Evaluate and decode: a set of tuples of RDF terms."""
-        relation = self.evaluate_relation(query, timeout_s=timeout_s)
+        relation = self.evaluate_relation(
+            query, timeout_s=timeout_s, tracer=tracer, metrics=metrics
+        )
         decode = self.database.dictionary.decode
         return frozenset(tuple(decode(v) for v in row) for row in relation.to_tuples())
 
-    def evaluate_relation(self, query, timeout_s: Optional[float] = None) -> Relation:
+    def evaluate_relation(
+        self,
+        query,
+        timeout_s: Optional[float] = None,
+        tracer=None,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> Relation:
         """Evaluate to an encoded relation (one column per head position)."""
+        tracer = NULL_TRACER if tracer is None else tracer
         deadline = _Deadline(timeout_s)
         if isinstance(query, BGPQuery):
-            return distinct(self._eval_cq(query, deadline, _positional_names(query.head)))
+            joined = self._eval_cq(
+                query, deadline, _positional_names(query.head), metrics
+            )
+            with tracer.span("dedup", rows_in=len(joined)) as span:
+                result = distinct(joined, metrics)
+                span.set(rows_out=len(result))
+            return result
         if isinstance(query, UCQ):
-            return self._eval_ucq(query, deadline, _positional_names(query.head))
+            return self._eval_ucq(
+                query, deadline, _positional_names(query.head), tracer, metrics
+            )
         if isinstance(query, JUCQ):
-            return self._eval_jucq(query, deadline)
+            return self._eval_jucq(query, deadline, tracer, metrics)
         raise TypeError(f"cannot evaluate {type(query).__name__}")
 
     def count(self, query, timeout_s: Optional[float] = None) -> int:
@@ -204,9 +234,17 @@ class NativeEngine:
     # CQ
     # ------------------------------------------------------------------
     def _eval_cq(
-        self, cq: BGPQuery, deadline: _Deadline, out_names: Sequence[str]
+        self,
+        cq: BGPQuery,
+        deadline: _Deadline,
+        out_names: Sequence[str],
+        metrics: Optional[MetricsRecorder] = None,
     ) -> Relation:
-        """Evaluate one conjunct; columns renamed to ``out_names``."""
+        """Evaluate one conjunct; columns renamed to ``out_names``.
+
+        Runs once per union term, so it carries counters but no spans —
+        a traced UCQ reformulation can have thousands of conjuncts.
+        """
         deadline.check()
         table, dictionary = self.database.table, self.database.dictionary
         if not cq.body:
@@ -217,15 +255,17 @@ class NativeEngine:
         current: Optional[Relation] = None
         for atom_index in order:
             deadline.check()
-            scanned = scan_atom(cq.body[atom_index], table, dictionary)
+            scanned = scan_atom(cq.body[atom_index], table, dictionary, metrics)
             if current is None:
                 current = scanned
             else:
                 shared = set(current.columns) & set(scanned.columns)
                 if shared:
-                    current = self.profile.join(current, scanned)
+                    current = self.profile.join(current, scanned, metrics)
                 else:
-                    current = cross_product(current, scanned)
+                    current = cross_product(current, scanned, metrics)
+                if metrics is not None:
+                    metrics.inc("materialized.intermediate_rows", len(current))
             if len(current) > self.profile.max_intermediate_rows:
                 raise EngineFailure(
                     f"intermediate result of {len(current)} rows exceeds "
@@ -273,31 +313,56 @@ class NativeEngine:
     # UCQ
     # ------------------------------------------------------------------
     def _eval_ucq(
-        self, ucq: UCQ, deadline: _Deadline, out_names: Sequence[str]
+        self,
+        ucq: UCQ,
+        deadline: _Deadline,
+        out_names: Sequence[str],
+        tracer=NULL_TRACER,
+        metrics: Optional[MetricsRecorder] = None,
     ) -> Relation:
         if len(ucq) > self.profile.max_union_terms:
             raise EngineFailure(
                 f"{len(ucq)} union terms exceed {self.profile.name}'s compound "
                 f"statement limit of {self.profile.max_union_terms}"
             )
-        parts = [self._eval_cq(cq, deadline, out_names) for cq in ucq]
-        combined = union_all(parts, out_names)
+        with tracer.span("union", terms=len(ucq)) as span:
+            parts = [self._eval_cq(cq, deadline, out_names, metrics) for cq in ucq]
+            combined = union_all(parts, out_names, metrics)
+            span.set(rows=len(combined))
         if len(combined) > self.profile.max_intermediate_rows:
             raise EngineFailure(
                 f"union result of {len(combined)} rows exceeds "
                 f"{self.profile.name}'s limit"
             )
         deadline.check()
-        return distinct(combined)
+        with tracer.span("dedup", rows_in=len(combined)) as span:
+            result = distinct(combined, metrics)
+            span.set(rows_out=len(result))
+        return result
 
     # ------------------------------------------------------------------
     # JUCQ
     # ------------------------------------------------------------------
-    def _eval_jucq(self, jucq: JUCQ, deadline: _Deadline) -> Relation:
+    def _eval_jucq(
+        self,
+        jucq: JUCQ,
+        deadline: _Deadline,
+        tracer=NULL_TRACER,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> Relation:
         operands: List[Relation] = []
-        for ucq in jucq:
+        for index, ucq in enumerate(jucq):
             names = _variable_names(ucq.head)
-            operands.append(self._eval_ucq(ucq, deadline, names))
+            with tracer.span("operand", index=index, terms=len(ucq)) as span:
+                started = time.perf_counter()
+                operand = self._eval_ucq(ucq, deadline, names, tracer, metrics)
+                span.set(rows=len(operand))
+            if metrics is not None:
+                metrics.append("jucq.operand_rows", len(operand))
+                metrics.append("jucq.operand_s", time.perf_counter() - started)
+            operands.append(operand)
+        if metrics is not None:
+            metrics.inc("jucq.operands", len(operands))
         # Greedy join order over materialized operand sizes.
         remaining = list(range(len(operands)))
         remaining.sort(key=lambda i: len(operands[i]))
@@ -311,9 +376,11 @@ class NativeEngine:
             remaining.remove(chosen)
             other = operands[chosen]
             if set(other.columns) & set(current.columns):
-                current = self.profile.join(current, other)
+                current = self.profile.join(current, other, metrics)
             else:
-                current = cross_product(current, other)
+                current = cross_product(current, other, metrics)
+            if metrics is not None:
+                metrics.inc("materialized.intermediate_rows", len(current))
             if len(current) > self.profile.max_intermediate_rows:
                 raise EngineFailure(
                     f"join intermediate of {len(current)} rows exceeds "
@@ -334,7 +401,10 @@ class NativeEngine:
         else:
             rows = np.empty((n, 0), dtype=np.int64)
         deadline.check()
-        return distinct(Relation(_positional_names(jucq.head), rows))
+        with tracer.span("dedup", rows_in=n) as span:
+            result = distinct(Relation(_positional_names(jucq.head), rows), metrics)
+            span.set(rows_out=len(result))
+        return result
 
 
 def _positional_names(head: Sequence[Term]) -> List[str]:

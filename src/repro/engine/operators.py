@@ -5,6 +5,11 @@ engine ("any system capable of evaluating selections, projections,
 joins and unions").  Joins come in two flavours — hash(-partition) and
 sort-merge — both vectorized over the packed join keys; the two native
 engine personalities pick different flavours.
+
+Every operator takes an optional ``metrics`` recorder
+(:class:`repro.telemetry.MetricsRecorder`) and bumps the row counters
+documented in DESIGN.md §7; with the default ``metrics=None`` the only
+added work is one ``is None`` test per call.
 """
 
 from __future__ import annotations
@@ -15,12 +20,16 @@ import numpy as np
 
 from ..rdf.terms import Triple, Variable
 from ..storage.dictionary import Dictionary
-from ..storage.triple_table import TripleTable
+from ..storage.triple_table import TripleTable, index_for_pattern
+from ..telemetry.metrics import MetricsRecorder
 from .relation import Relation, dedup_rows, pack_columns
 
 
 def scan_atom(
-    atom: Triple, table: TripleTable, dictionary: Dictionary
+    atom: Triple,
+    table: TripleTable,
+    dictionary: Dictionary,
+    metrics: Optional[MetricsRecorder] = None,
 ) -> Relation:
     """Scan the triple table for an atom; columns are the atom's variables.
 
@@ -38,10 +47,17 @@ def scan_atom(
         else:
             code = dictionary.lookup(term)
             if code is None:
+                if metrics is not None:
+                    metrics.inc("scan.atoms")
+                    metrics.inc("scan.empty")
                 distinct = _distinct_names(var_positions, atom)
                 return Relation.empty(distinct)
             pattern.append(code)
     rows = table.match(tuple(pattern))
+    if metrics is not None:
+        metrics.inc("scan.atoms")
+        metrics.inc("scan.rows", rows.shape[0])
+        metrics.inc(f"scan.index.{index_for_pattern(tuple(pattern))}", rows.shape[0])
     # Intra-atom equality selection for repeated variables.
     seen: dict = {}
     keep_mask = None
@@ -57,6 +73,8 @@ def scan_atom(
             out_positions.append(position)
     if keep_mask is not None:
         rows = rows[keep_mask]
+    if metrics is not None:
+        metrics.inc("scan.rows_emitted", rows.shape[0])
     return Relation(out_names, rows[:, out_positions])
 
 
@@ -95,11 +113,16 @@ def _emit_join(
     return Relation(out_columns, np.hstack([left_part, right_part]))
 
 
-def hash_join(left: Relation, right: Relation) -> Relation:
+def hash_join(
+    left: Relation, right: Relation, metrics: Optional[MetricsRecorder] = None
+) -> Relation:
     """Natural join on shared column names (vectorized hash-partition join)."""
     shared, left_keys, right_keys, right_extra, out_columns = _join_layout(left, right)
     if not shared:
-        return cross_product(left, right)
+        return cross_product(left, right, metrics)
+    if metrics is not None:
+        metrics.inc("join.hash.count")
+        metrics.inc("join.hash.probe_rows", len(left) + len(right))
     if len(left) == 0 or len(right) == 0:
         return Relation.empty(out_columns)
     # Factorize both key sets over a shared codomain so equal tuples get
@@ -115,6 +138,8 @@ def hash_join(left: Relation, right: Relation) -> Relation:
     hi = np.searchsorted(sorted_right, left_hash, side="right")
     counts = hi - lo
     total = int(counts.sum())
+    if metrics is not None:
+        metrics.inc("join.hash.emit_rows", total)
     if total == 0:
         return Relation.empty(out_columns)
     left_idx = np.repeat(np.arange(len(left)), counts)
@@ -124,7 +149,9 @@ def hash_join(left: Relation, right: Relation) -> Relation:
     return _emit_join(left, right, left_idx, right_idx, right_extra, out_columns)
 
 
-def merge_join(left: Relation, right: Relation) -> Relation:
+def merge_join(
+    left: Relation, right: Relation, metrics: Optional[MetricsRecorder] = None
+) -> Relation:
     """Natural join via sorting *both* inputs (the merge-join personality).
 
     Produces the same result as :func:`hash_join`; it differs in the
@@ -133,7 +160,10 @@ def merge_join(left: Relation, right: Relation) -> Relation:
     """
     shared, left_keys, right_keys, right_extra, out_columns = _join_layout(left, right)
     if not shared:
-        return cross_product(left, right)
+        return cross_product(left, right, metrics)
+    if metrics is not None:
+        metrics.inc("join.merge.count")
+        metrics.inc("join.merge.probe_rows", len(left) + len(right))
     if len(left) == 0 or len(right) == 0:
         return Relation.empty(out_columns)
     combined = np.vstack([left.rows[:, left_keys], right.rows[:, right_keys]])
@@ -147,6 +177,8 @@ def merge_join(left: Relation, right: Relation) -> Relation:
     hi = np.searchsorted(sorted_right, sorted_left, side="right")
     counts = hi - lo
     total = int(counts.sum())
+    if metrics is not None:
+        metrics.inc("join.merge.emit_rows", total)
     if total == 0:
         return Relation.empty(out_columns)
     left_idx = left_order[np.repeat(np.arange(len(left)), counts)]
@@ -156,9 +188,14 @@ def merge_join(left: Relation, right: Relation) -> Relation:
     return _emit_join(left, right, left_idx, right_idx, right_extra, out_columns)
 
 
-def cross_product(left: Relation, right: Relation) -> Relation:
+def cross_product(
+    left: Relation, right: Relation, metrics: Optional[MetricsRecorder] = None
+) -> Relation:
     """Cartesian product (reached only by disconnected queries)."""
     out_columns = left.columns + right.columns
+    if metrics is not None:
+        metrics.inc("join.cross.count")
+        metrics.inc("join.cross.emit_rows", len(left) * len(right))
     if len(left) == 0 or len(right) == 0:
         return Relation.empty(out_columns)
     left_idx = np.repeat(np.arange(len(left)), len(right))
@@ -168,7 +205,11 @@ def cross_product(left: Relation, right: Relation) -> Relation:
     )
 
 
-def union_all(relations: Sequence[Relation], columns: Sequence[str]) -> Relation:
+def union_all(
+    relations: Sequence[Relation],
+    columns: Sequence[str],
+    metrics: Optional[MetricsRecorder] = None,
+) -> Relation:
     """Bag union of positionally-aligned relations."""
     columns = tuple(columns)
     arity = len(columns)
@@ -178,11 +219,22 @@ def union_all(relations: Sequence[Relation], columns: Sequence[str]) -> Relation
             raise ValueError(
                 f"union arity mismatch: {relation.columns} vs {columns}"
             )
+    if metrics is not None:
+        metrics.inc("union.count")
+        metrics.inc("union.terms", len(relations))
+        metrics.inc("union.input_rows", sum(len(r) for r in relations))
     if not stacks:
         return Relation.empty(columns)
     return Relation(columns, np.vstack(stacks))
 
 
-def distinct(relation: Relation) -> Relation:
+def distinct(
+    relation: Relation, metrics: Optional[MetricsRecorder] = None
+) -> Relation:
     """Duplicate elimination (the paper's ``c_unique`` operation)."""
-    return Relation(relation.columns, dedup_rows(relation.rows))
+    deduped = dedup_rows(relation.rows)
+    if metrics is not None:
+        metrics.inc("dedup.count")
+        metrics.inc("dedup.input_rows", relation.rows.shape[0])
+        metrics.inc("dedup.output_rows", deduped.shape[0])
+    return Relation(relation.columns, deduped)

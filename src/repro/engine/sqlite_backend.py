@@ -18,6 +18,8 @@ import time
 from typing import Optional
 
 from ..storage.database import RDFDatabase
+from ..telemetry.metrics import MetricsRecorder
+from ..telemetry.tracer import NULL_TRACER
 from .evaluator import AnswerSet, EngineFailure, EngineTimeout
 from .sql import to_sql
 
@@ -54,9 +56,30 @@ class SQLiteEngine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def evaluate(self, query, timeout_s: Optional[float] = None) -> AnswerSet:
-        """Evaluate and decode answers (a set of tuples of RDF terms)."""
-        rows = self.execute_sql(to_sql(query, self.database.dictionary), timeout_s)
+    def evaluate(
+        self,
+        query,
+        timeout_s: Optional[float] = None,
+        tracer=None,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> AnswerSet:
+        """Evaluate and decode answers (a set of tuples of RDF terms).
+
+        SQLite's internal operators are opaque, so telemetry records the
+        SQL boundary instead: compile/execute spans, statement size, and
+        fetched-row counters.
+        """
+        tracer = NULL_TRACER if tracer is None else tracer
+        with tracer.span("sqlite.compile") as span:
+            sql = to_sql(query, self.database.dictionary)
+            span.set(sql_chars=len(sql))
+        with tracer.span("sqlite.execute", sql_chars=len(sql)) as span:
+            rows = self.execute_sql(sql, timeout_s)
+            span.set(rows=len(rows))
+        if metrics is not None:
+            metrics.inc("sqlite.statements")
+            metrics.inc("sqlite.sql_chars", len(sql))
+            metrics.inc("sqlite.rows_fetched", len(rows))
         if getattr(query, "arity", None) == 0:
             # Boolean query: the SQL emits a marker column instead of an
             # (invalid) empty select list.

@@ -28,8 +28,14 @@ def ecov(
     cost_function: CostFunction,
     max_covers: Optional[int] = 100_000,
     timeout_s: Optional[float] = None,
+    trace: Optional[list] = None,
 ) -> CoverSearchResult:
-    """Exhaustive search for the cheapest cover-based reformulation."""
+    """Exhaustive search for the cheapest cover-based reformulation.
+
+    Pass a list as ``trace`` to receive ``(cover, cost)`` pairs in
+    enumeration order (same contract as :func:`repro.optimizer.gcov`'s
+    trace), from which telemetry derives the best-cost trajectory.
+    """
     scorer = CoverScorer(query, reformulator, cost_function)
     watch = Stopwatch()
     best_cover = None
@@ -46,6 +52,8 @@ def ecov(
                 f"({scorer.covers_explored} covers explored)"
             )
         cost = scorer.cost(cover)
+        if trace is not None:
+            trace.append((cover, cost))
         if cost < best_cost:
             best_cost = cost
             best_cover = cover

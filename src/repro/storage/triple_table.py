@@ -61,6 +61,12 @@ _INDEX_FOR_BOUND = {
 }
 
 
+def index_for_pattern(pattern: Pattern) -> str:
+    """Name of the permutation index that serves a pattern's bound set."""
+    bound = frozenset(i for i, v in enumerate(pattern) if v is not None)
+    return _INDEX_FOR_BOUND[bound]
+
+
 class TripleTable:
     """Sorted-array triple store over a :class:`Dictionary`.
 

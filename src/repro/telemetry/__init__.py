@@ -1,0 +1,32 @@
+"""Zero-dependency tracing + metrics for the answering pipeline.
+
+Four pieces (see DESIGN.md §7 for the span and counter taxonomy):
+
+* :mod:`.tracer` — hierarchical spans with wall-clock + monotonic
+  timing and a no-op :data:`NULL_TRACER` default;
+* :mod:`.metrics` — operator-level counters (rows scanned per index
+  permutation, join probe/emit counts, dedup input/output, …);
+* :mod:`.accuracy` — predicted-vs-observed (cost, cardinality) samples
+  with q-error ratios;
+* :mod:`.search_trace` — the GCov/ECov exploration trajectory in
+  JSON-friendly form.
+"""
+
+from .accuracy import AccuracyRecord, AccuracyRecorder, q_error
+from .metrics import MetricsRecorder
+from .search_trace import best_cost_trajectory, cover_fragments, trajectory
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "AccuracyRecord",
+    "AccuracyRecorder",
+    "MetricsRecorder",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "best_cost_trajectory",
+    "cover_fragments",
+    "q_error",
+    "trajectory",
+]

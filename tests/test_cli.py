@@ -61,6 +61,39 @@ class TestQuery:
         assert code == 0
         assert out.count("\n") == 4  # one chair per department
         assert "answers" in err
+        # The phase split is reported from the AnswerReport, with parse
+        # time separated out (total_s excludes parsing).
+        assert "parse=" in err
+        assert "optimize=" in err
+        assert "evaluate=" in err
+        assert "total excludes parse" in err
+
+    def test_trace_export(self, dataset, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        code, out, err = run_cli(
+            [
+                "query",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:Professor . ?x ub:worksFor ?d }",
+                "--prefix",
+                f"ub={UB}",
+                "--strategy",
+                "gcov",
+                "--trace",
+                str(trace_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "trace:" in err
+        entries = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        names = {e.get("name") for e in entries if e["type"] == "span"}
+        assert {"parse", "answer", "cover-search", "evaluate", "dedup"} <= names
+        assert any(e["type"] == "search" for e in entries)
+        assert any(e["type"] == "accuracy" for e in entries)
 
     def test_sqlite_engine(self, dataset, capsys):
         code, out, _ = run_cli(
@@ -129,6 +162,68 @@ class TestExplain:
         assert code == 0
         assert "SELECT DISTINCT" in out
         assert "FROM triples" in out
+
+
+class TestProfile:
+    def test_sections_printed(self, dataset, capsys):
+        code, out, _ = run_cli(
+            [
+                "profile",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:Professor . ?x ub:worksFor ?d }",
+                "--prefix",
+                f"ub={UB}",
+                "--strategy",
+                "gcov",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "== spans ==" in out
+        assert "cover-search" in out
+        assert "== operator counters ==" in out
+        assert "scan.rows" in out
+        assert "== cost-model accuracy ==" in out
+        assert "q(cost)" in out
+        assert "search trajectory" in out
+
+    def test_trace_export(self, dataset, tmp_path, capsys):
+        trace_path = tmp_path / "profile.jsonl"
+        code, out, err = run_cli(
+            [
+                "profile",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:Chair }",
+                "--prefix",
+                f"ub={UB}",
+                "--trace",
+                str(trace_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert trace_path.exists()
+        assert "wrote" in err
+
+    def test_sqlite_engine_profiled(self, dataset, capsys):
+        code, out, _ = run_cli(
+            [
+                "profile",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:Chair }",
+                "--prefix",
+                f"ub={UB}",
+                "--engine",
+                "sqlite",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "sqlite.execute" in out
+        assert "sqlite.rows_fetched" in out
 
 
 class TestStats:
