@@ -250,12 +250,16 @@ def measure(
     engine_name: str,
     timeout_s: Optional[float] = None,
     trace: bool = False,
+    verify_ir: bool = False,
 ) -> Measurement:
     """Answer one query under one strategy/engine, with missing-bar semantics.
 
     With ``trace=True`` the answering call runs under a fresh
     :class:`repro.telemetry.Tracer` and the flattened span/record list
-    is attached to the measurement.
+    is attached to the measurement.  With ``verify_ir=True`` every
+    compilation stage is asserted by the IR verifier; a verification
+    failure is *not* converted to missing-bar semantics — it propagates,
+    because it marks a pipeline bug rather than an engine limit.
     """
     from repro.optimizer import SearchInfeasible
     from repro.reformulation import ReformulationLimitExceeded
@@ -265,7 +269,11 @@ def measure(
     qa = answerer(dataset, engine_name)
     try:
         report = qa.answer(
-            entry.query, strategy=strategy, timeout_s=timeout_s, tracer=tracer
+            entry.query,
+            strategy=strategy,
+            timeout_s=timeout_s,
+            tracer=tracer,
+            verify_ir=verify_ir,
         )
     except ReformulationLimitExceeded as error:
         return Measurement(
@@ -303,6 +311,7 @@ def run_grid(
     engines: Sequence[str],
     timeout_s: Optional[float] = None,
     trace: bool = False,
+    verify_ir: bool = False,
 ) -> List[Measurement]:
     """The full (query × strategy × engine) grid of one figure."""
     results = []
@@ -310,7 +319,15 @@ def run_grid(
         for entry in entries:
             for strategy in strategies:
                 results.append(
-                    measure(dataset, entry, strategy, engine_name, timeout_s, trace)
+                    measure(
+                        dataset,
+                        entry,
+                        strategy,
+                        engine_name,
+                        timeout_s,
+                        trace,
+                        verify_ir,
+                    )
                 )
     return results
 

@@ -120,6 +120,7 @@ class QueryAnswerer:
         reformulator: Optional[Reformulator] = None,
         ecov_max_covers: int = 100_000,
         tracer=None,
+        verify_ir: bool = False,
     ):
         self.database = database
         self.engine = engine if engine is not None else NativeEngine(database)
@@ -134,20 +135,49 @@ class QueryAnswerer:
         self.ecov_max_covers = ecov_max_covers
         #: Default tracer for every call; the no-op tracer unless set.
         self.tracer = NULL_TRACER if tracer is None else tracer
+        #: Debug mode: assert IR well-formedness after each compilation
+        #: stage (DESIGN.md §8); raises
+        #: :class:`repro.analysis.IRVerificationError` on corruption.
+        self.verify_ir = verify_ir
         self._saturated_engine = None
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def plan(self, query: BGPQuery, strategy: str = "gcov", tracer=None):
+    def plan(
+        self,
+        query: BGPQuery,
+        strategy: str = "gcov",
+        tracer=None,
+        verify_ir: Optional[bool] = None,
+    ):
         """The reformulated query a strategy would evaluate (no execution).
 
         Returns ``(planned_query, search_result_or_None)``.  When a
         live ``tracer`` is given (or set on the answerer), planning is
         wrapped in ``reformulate``/``cover-search`` spans and the cover
         search's exploration trajectory is attached as a ``search``
-        record.
+        record.  ``verify_ir`` overrides the answerer's default; when
+        on, the input query and the produced reformulation are checked
+        by the IR verifier (:mod:`repro.analysis`).
         """
+        verify = self.verify_ir if verify_ir is None else verify_ir
+        if verify:
+            from ..analysis.verifier import verify_bgp
+
+            verify_bgp(query)
+        planned, search = self._plan(query, strategy, tracer)
+        if verify:
+            from ..analysis.verifier import verify_pipeline
+
+            verify_pipeline(
+                query,
+                planned,
+                cover=None if search is None else search.cover,
+            )
+        return planned, search
+
+    def _plan(self, query: BGPQuery, strategy: str = "gcov", tracer=None):
         tracer = self.tracer if tracer is None else tracer
         if strategy == "ucq":
             with tracer.span("reformulate", strategy=strategy) as span:
@@ -222,6 +252,7 @@ class QueryAnswerer:
         timeout_s: Optional[float] = None,
         tracer=None,
         record_accuracy: Optional[bool] = None,
+        verify_ir: Optional[bool] = None,
     ) -> AnswerReport:
         """Answer ``query`` under ``strategy``; see :class:`AnswerReport`.
 
@@ -229,16 +260,32 @@ class QueryAnswerer:
         call.  ``record_accuracy`` forces predicted-vs-observed (cost,
         cardinality) sampling on or off; by default it follows the
         tracer (accuracy needs extra estimator calls, so the untraced
-        hot path skips them).
+        hot path skips them).  ``verify_ir`` overrides the answerer's
+        default; when on, every compilation stage — input query, cover,
+        JUCQ, compiled plan tree, generated SQL — is asserted by the IR
+        verifier before evaluation starts.
         """
         tracer = self.tracer if tracer is None else tracer
+        verify = self.verify_ir if verify_ir is None else verify_ir
         if record_accuracy is None:
             record_accuracy = tracer.enabled
         metrics = MetricsRecorder()
         with tracer.span("answer", query=query.name, strategy=strategy) as root:
             start = time.perf_counter()
             with tracer.span("plan", strategy=strategy):
-                planned, search = self.plan(query, strategy, tracer=tracer)
+                planned, search = self.plan(
+                    query, strategy, tracer=tracer, verify_ir=False
+                )
+            if verify:
+                from ..analysis.verifier import verify_pipeline
+
+                with tracer.span("verify-ir"):
+                    verify_pipeline(
+                        query,
+                        planned,
+                        cover=None if search is None else search.cover,
+                        database=self.database,
+                    )
             optimization_s = time.perf_counter() - start
             engine = self._engine_for(strategy)
             start = time.perf_counter()

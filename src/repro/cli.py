@@ -22,6 +22,11 @@ Commands
     cost-model accuracy (q-errors), and the optimizer's best-cost
     trajectory; optionally export the trace as JSON lines.
 
+``lint``
+    Statically check queries against the dataset's schema and
+    dictionary: rule-coded diagnostics (DESIGN.md §8), non-zero exit on
+    any error-severity finding, ``--format json`` for machines.
+
 Examples::
 
     python -m repro generate lubm --universities 2 -o campus.nt
@@ -29,23 +34,33 @@ Examples::
         --prefix ub=http://swat.cse.lehigh.edu/onto/univ-bench.owl#
     python -m repro explain campus.nt -q "..." --strategy gcov --sql
     python -m repro profile campus.nt -q "..." --strategy gcov --trace out.jsonl
+    python -m repro lint campus.nt -q "..." --format json
+    python -m repro lint campus.nt --workload lubm
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 import time
 from typing import List, Optional
 
+from .analysis import IRVerificationError, Severity
+from .analysis.lint import lint_query, lint_text
 from .answering import STRATEGIES, QueryAnswerer
 from .datasets import DBLPGenerator, DBLPProfile, LUBMGenerator, dblp_schema, lubm_schema
 from .engine import NativeEngine, SQLiteEngine, to_sql
 from .query import parse_query
 from .rdf import read_ntriples, write_ntriples
+from .reformulation import Reformulator
 from .storage import RDFDatabase
 from .telemetry import Tracer
+
+#: SQLite's compile-time compound-select limit: the strictest statement
+#: limit among the engines, used as the lint's default for rule L109.
+DEFAULT_STATEMENT_LIMIT = 500
 
 
 def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
@@ -67,11 +82,30 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
         default="native",
         help="evaluation engine",
     )
+    parser.add_argument(
+        "--verify-ir",
+        action="store_true",
+        help="assert IR well-formedness after each compilation stage "
+        "(debug mode; see DESIGN.md §8)",
+    )
 
 
 def _load_database(path: str) -> RDFDatabase:
     with open(path, "r", encoding="utf-8") as source:
         return RDFDatabase.from_triples(read_ntriples(source))
+
+
+def _print_lint_findings(report, minimum: Severity = Severity.WARNING) -> None:
+    """Surface lint findings on stderr (used by query/profile)."""
+    for diagnostic in report.diagnostics:
+        if diagnostic.severity >= minimum:
+            print(f"# lint: {diagnostic.format()}", file=sys.stderr)
+
+
+def _print_verification_failure(error: IRVerificationError) -> None:
+    print("# IR verification FAILED:", file=sys.stderr)
+    for diagnostic in error.diagnostics:
+        print(f"#   {diagnostic.format()}", file=sys.stderr)
 
 
 def _parse_with_prefixes(text: str, prefixes: List[str]):
@@ -84,11 +118,13 @@ def _parse_with_prefixes(text: str, prefixes: List[str]):
     return parse_query("".join(declarations) + text)
 
 
-def _answerer(database: RDFDatabase, engine_kind: str) -> QueryAnswerer:
+def _answerer(
+    database: RDFDatabase, engine_kind: str, verify_ir: bool = False
+) -> QueryAnswerer:
     engine = (
         SQLiteEngine(database) if engine_kind == "sqlite" else NativeEngine(database)
     )
-    return QueryAnswerer(database, engine=engine)
+    return QueryAnswerer(database, engine=engine, verify_ir=verify_ir)
 
 
 # ----------------------------------------------------------------------
@@ -132,10 +168,15 @@ def cmd_query(args: argparse.Namespace) -> int:
     else:
         query = _parse_with_prefixes(args.query, args.prefix)
     parse_s = time.perf_counter() - parse_start
-    answerer = _answerer(database, args.engine)
-    report = answerer.answer(
-        query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
-    )
+    answerer = _answerer(database, args.engine, verify_ir=args.verify_ir)
+    _print_lint_findings(lint_query(query, database=database))
+    try:
+        report = answerer.answer(
+            query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
+        )
+    except IRVerificationError as error:
+        _print_verification_failure(error)
+        return 2
     for row in sorted(report.answers):
         print("\t".join(str(term) for term in row))
     print(
@@ -185,10 +226,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
     tracer = Tracer()
     with tracer.span("parse"):
         query = _parse_with_prefixes(args.query, args.prefix)
-    answerer = _answerer(database, args.engine)
-    report = answerer.answer(
-        query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
-    )
+    answerer = _answerer(database, args.engine, verify_ir=args.verify_ir)
+    _print_lint_findings(lint_query(query, database=database))
+    try:
+        report = answerer.answer(
+            query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
+        )
+    except IRVerificationError as error:
+        _print_verification_failure(error)
+        return 2
     print(
         f"query {query.name}: {report.answer_count} answers "
         f"| strategy={report.strategy} | engine={args.engine} "
@@ -252,9 +298,13 @@ def cmd_explain(args: argparse.Namespace) -> int:
     """``repro explain``: show the chosen reformulation without running it."""
     database = _load_database(args.data)
     query = _parse_with_prefixes(args.query, args.prefix)
-    answerer = _answerer(database, args.engine)
+    answerer = _answerer(database, args.engine, verify_ir=args.verify_ir)
     start = time.perf_counter()
-    planned, search = answerer.plan(query, args.strategy)
+    try:
+        planned, search = answerer.plan(query, args.strategy)
+    except IRVerificationError as error:
+        _print_verification_failure(error)
+        return 2
     elapsed = (time.perf_counter() - start) * 1000
     print(f"strategy: {args.strategy} (planned in {elapsed:.1f} ms)")
     if search is not None:
@@ -272,6 +322,67 @@ def cmd_explain(args: argparse.Namespace) -> int:
         print("\n-- plan --")
         print(NativeEngine(database).explain(planned))
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: statically check queries against a dataset.
+
+    Lints the ``-q`` queries (repeatable) and/or a bundled benchmark
+    workload; prints rule-coded diagnostics (text or JSON) and exits
+    non-zero when any error-severity finding fires.
+    """
+    if not args.query and not args.workload:
+        print("lint needs at least one -q QUERY or --workload", file=sys.stderr)
+        return 2
+    database = _load_database(args.data)
+    reformulator = Reformulator(database.schema)
+    declarations = "".join(
+        f"PREFIX {declaration.partition('=')[0]}: "
+        f"<{declaration.partition('=')[2]}> "
+        for declaration in args.prefix
+    )
+    reports = []
+    for index, text in enumerate(args.query or []):
+        reports.append(
+            lint_text(
+                declarations + text,
+                database=database,
+                reformulator=reformulator,
+                max_operand_terms=args.statement_limit,
+                name=f"q{index + 1}",
+            )
+        )
+    if args.workload:
+        from .datasets import dblp_workload, lubm_workload
+
+        entries = lubm_workload() if args.workload == "lubm" else dblp_workload()
+        for entry in entries:
+            report = lint_query(
+                entry.query,
+                database=database,
+                reformulator=reformulator,
+                max_operand_terms=args.statement_limit,
+            )
+            report.query_name = entry.name
+            reports.append(report)
+    failed = sum(1 for report in reports if not report.ok)
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "queries": len(reports),
+                    "failed": failed,
+                    "reports": [report.to_dict() for report in reports],
+                },
+                indent=2,
+            )
+        )
+    else:
+        from .analysis.lint import format_report
+
+        for report in reports:
+            print(format_report(report, verbose=args.verbose))
+    return 1 if failed else 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -341,6 +452,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", help="export a JSON-lines telemetry trace"
     )
     profile.set_defaults(handler=cmd_profile)
+
+    lint = commands.add_parser(
+        "lint", help="statically check queries against a dataset"
+    )
+    lint.add_argument("data", help="N-Triples file (constraints + facts)")
+    lint.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        default=[],
+        help="SPARQL BGP text (repeatable)",
+    )
+    lint.add_argument(
+        "--prefix",
+        action="append",
+        default=[],
+        metavar="NAME=IRI",
+        help="extra prefix declaration (repeatable)",
+    )
+    lint.add_argument(
+        "--workload",
+        choices=("lubm", "dblp"),
+        help="also lint a bundled benchmark workload",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    lint.add_argument(
+        "--statement-limit",
+        type=int,
+        default=DEFAULT_STATEMENT_LIMIT,
+        help="engine statement limit for rule L109 (default: SQLite's 500)",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true", help="also show INFO-severity findings"
+    )
+    lint.set_defaults(handler=cmd_lint)
 
     stats = commands.add_parser("stats", help="summarize a dataset")
     stats.add_argument("data", help="N-Triples file")

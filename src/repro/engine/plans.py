@@ -21,7 +21,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -248,7 +248,7 @@ class PlanCompiler:
         counts = [self._atom_count(atom) for atom in cq.body]
         atom_vars = [cq.atom_variables(i) for i in range(len(cq.body))]
         remaining = set(range(len(cq.body)))
-        bound: set = set()
+        bound: Set[Variable] = set()
         plan: Optional[PlanNode] = None
         while remaining:
             connected = [i for i in remaining if atom_vars[i] & bound] or list(remaining)
@@ -281,7 +281,7 @@ class PlanCompiler:
     def compile_jucq(self, jucq: JUCQ) -> PlanNode:
         """Operand plans joined on shared head variables, then project+distinct."""
         operands: List[PlanNode] = []
-        operand_vars: List[set] = []
+        operand_vars: List[Set[str]] = []
         for ucq in jucq:
             names = tuple(
                 term.value if isinstance(term, Variable) else f"c{i}"
@@ -317,7 +317,23 @@ class PlanCompiler:
 
 
 def compile_query(
-    query, database: RDFDatabase, profile: EngineProfile = NATIVE_HASH
+    query,
+    database: RDFDatabase,
+    profile: EngineProfile = NATIVE_HASH,
+    verify: bool = False,
 ) -> PlanNode:
-    """One-shot compilation (see :class:`PlanCompiler`)."""
-    return PlanCompiler(database, profile).compile(query)
+    """One-shot compilation (see :class:`PlanCompiler`).
+
+    With ``verify=True`` the produced tree is self-checked by the IR
+    verifier's schema-propagation pass (DESIGN.md §8): join keys must
+    exist in both child schemas, union operands must be
+    schema-compatible, and the root must produce the query's answer
+    width.  Raises :class:`repro.analysis.IRVerificationError` when the
+    compiler produced a corrupt plan.
+    """
+    plan = PlanCompiler(database, profile).compile(query)
+    if verify:
+        from ..analysis.verifier import verify_plan
+
+        verify_plan(plan, expected_arity=getattr(query, "arity", None))
+    return plan

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Set
 
-from ..rdf.terms import Variable
+from ..analysis.diagnostics import CoverValidationError, Diagnostic, Severity
 from ..query.bgp import BGPQuery
+from ..rdf.terms import Variable
 
 #: A fragment is a set of atom indices into the query body.
 Fragment = FrozenSet[int]
@@ -44,36 +45,99 @@ def scq_cover(query: BGPQuery) -> Cover:
     return frozenset(frozenset({i}) for i in range(len(query.body)))
 
 
-def validate_cover(query: BGPQuery, cover: Cover) -> None:
-    """Raise ``ValueError`` unless ``cover`` satisfies Definition 3.3."""
+def _fragment_label(fragment: Fragment) -> str:
+    """Paper-style fragment name, e.g. ``{t1,t3}`` (1-based)."""
+    return "{" + ",".join(f"t{i + 1}" for i in sorted(fragment)) + "}"
+
+
+def _fragment_atoms(query: BGPQuery, fragment: Fragment) -> str:
+    """The fragment's triple patterns, rendered for error messages."""
+    in_range = [i for i in sorted(fragment) if 0 <= i < len(query.body)]
+    atoms = ", ".join(
+        f"{query.body[i].s} {query.body[i].p} {query.body[i].o}" for i in in_range
+    )
+    return f"{_fragment_label(fragment)} = ({atoms})"
+
+
+def check_cover(query: BGPQuery, cover: Cover) -> List[Diagnostic]:
+    """Definition 3.3 checks, reported as diagnostics (stage ``C``).
+
+    Rule codes:
+
+    * ``IR-C01`` — empty cover;
+    * ``IR-C02`` — empty fragment;
+    * ``IR-C03`` — fragment indexes out of the body's range;
+    * ``IR-C04`` — fragment not join-connected (its cover query would
+      be a cartesian product);
+    * ``IR-C05`` — the union of the fragments misses body atoms;
+    * ``IR-C06`` — two fragments are comparable (one contains the
+      other);
+    * ``IR-C07`` — a fragment shares a variable with no other fragment.
+
+    Messages render the offending fragments *with their triple
+    patterns*, and fragments are visited in deterministic order
+    (by smallest atom, then size), so the output is stable across runs.
+    """
+
+    def finding(code: str, message: str) -> Diagnostic:
+        return Diagnostic(
+            code=code, severity=Severity.ERROR, message=message, stage="cover",
+            subject=query.name,
+        )
+
     if not cover:
-        raise ValueError("a cover needs at least one fragment")
+        return [finding("IR-C01", "a cover needs at least one fragment")]
+    findings: List[Diagnostic] = []
+    ordered = sorted(cover, key=lambda f: (min(f, default=-1), len(f), sorted(f)))
     all_atoms = set(range(len(query.body)))
     union: Set[int] = set()
-    for fragment in cover:
+    for fragment in ordered:
         if not fragment:
-            raise ValueError("fragments must be non-empty")
+            findings.append(finding("IR-C02", "fragments must be non-empty"))
+            continue
         if not fragment <= all_atoms:
-            raise ValueError(f"fragment {sorted(fragment)} indexes out of range")
+            findings.append(
+                finding(
+                    "IR-C03",
+                    f"fragment {_fragment_label(fragment)} indexes atoms "
+                    f"{sorted(fragment - all_atoms)} outside the "
+                    f"{len(query.body)}-atom body",
+                )
+            )
+            union |= fragment & all_atoms
+            continue
         if not query.is_connected(fragment):
-            raise ValueError(
-                f"fragment {sorted(fragment)} is not join-connected "
-                "(its cover query would be a cartesian product)"
+            findings.append(
+                finding(
+                    "IR-C04",
+                    f"fragment {_fragment_atoms(query, fragment)} is not "
+                    "join-connected (its cover query would be a cartesian "
+                    "product)",
+                )
             )
         union |= fragment
     if union != all_atoms:
-        raise ValueError(f"cover misses atoms {sorted(all_atoms - union)}")
-    fragments = list(cover)
-    for i, first in enumerate(fragments):
-        for second in fragments[i + 1 :]:
-            if first <= second or second <= first:
-                raise ValueError(
-                    f"fragments {sorted(first)} and {sorted(second)} are comparable"
+        missing = sorted(all_atoms - union)
+        atoms = "; ".join(
+            f"t{i + 1} = ({query.body[i].s} {query.body[i].p} {query.body[i].o})"
+            for i in missing
+        )
+        findings.append(finding("IR-C05", f"cover misses atoms {atoms}"))
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1 :]:
+            if first and second and (first <= second or second <= first):
+                findings.append(
+                    finding(
+                        "IR-C06",
+                        f"fragments {_fragment_atoms(query, first)} and "
+                        f"{_fragment_atoms(query, second)} are comparable",
+                    )
                 )
-    if len(fragments) > 1:
+    connected = [f for f in ordered if f and f <= all_atoms]
+    if len(connected) > 1:
         atom_vars = [query.atom_variables(i) for i in range(len(query.body))]
         fragment_vars = [
-            set().union(*(atom_vars[i] for i in fragment)) for fragment in fragments
+            set().union(*(atom_vars[i] for i in fragment)) for fragment in connected
         ]
         for i, own_vars in enumerate(fragment_vars):
             other_vars: Set[Variable] = set()
@@ -81,9 +145,27 @@ def validate_cover(query: BGPQuery, cover: Cover) -> None:
                 if j != i:
                     other_vars |= vars_
             if not own_vars & other_vars:
-                raise ValueError(
-                    f"fragment {sorted(fragments[i])} joins with no other fragment"
+                findings.append(
+                    finding(
+                        "IR-C07",
+                        f"fragment {_fragment_atoms(query, connected[i])} "
+                        "joins with no other fragment",
+                    )
                 )
+    return findings
+
+
+def validate_cover(query: BGPQuery, cover: Cover) -> None:
+    """Raise unless ``cover`` satisfies Definition 3.3.
+
+    Raises :class:`~repro.analysis.diagnostics.CoverValidationError`
+    (a ``ValueError``) carrying the full, deterministically ordered
+    diagnostic list; messages name the offending fragments' triple
+    patterns, not just their indices.
+    """
+    findings = check_cover(query, cover)
+    if findings:
+        raise CoverValidationError(findings)
 
 
 def cover_query(query: BGPQuery, fragment: Fragment, cover: Cover) -> BGPQuery:

@@ -54,9 +54,7 @@ def _entails_atom(candidate: Triple, target: Triple, schema: RDFSchema) -> bool:
             return False
         if candidate.s == target.s and cls in schema.domains(candidate.p):
             return True
-        if candidate.o == target.s and cls in schema.ranges(candidate.p):
-            return True
-        return False
+        return candidate.o == target.s and cls in schema.ranges(candidate.p)
     if (
         not isinstance(target.p, Variable)
         and target.p != RDF_TYPE

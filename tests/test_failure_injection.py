@@ -4,6 +4,8 @@ Every failure must be a *typed*, catchable error — never a silent wrong
 answer, never an unrelated traceback.
 """
 
+import contextlib
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -33,18 +35,15 @@ class TestParserFuzz:
     @given(st.text(max_size=120))
     def test_parser_never_crashes_unexpectedly(self, text):
         """Arbitrary text either parses or raises the typed errors."""
-        try:
+        # ValueError covers unsafe-head rejections.
+        with contextlib.suppress(SPARQLSyntaxError, ValueError):
             parse_query(text)
-        except (SPARQLSyntaxError, ValueError):
-            pass  # ValueError covers unsafe-head rejections
 
     @settings(max_examples=150, deadline=None)
     @given(st.text(max_size=120))
     def test_ntriples_never_crashes_unexpectedly(self, text):
-        try:
+        with contextlib.suppress(NTriplesError):
             list(read_ntriples(text))
-        except NTriplesError:
-            pass
 
 
 class TestEngineFailurePropagation:

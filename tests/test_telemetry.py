@@ -74,16 +74,14 @@ class TestSpans:
 
     def test_error_annotated(self):
         tracer = Tracer()
-        with pytest.raises(ValueError):
-            with tracer.span("boom"):
-                raise ValueError("no")
+        with pytest.raises(ValueError), tracer.span("boom"):
+            raise ValueError("no")
         assert tracer.roots[0].attributes["error"] == "ValueError"
 
     def test_export_jsonl(self, tmp_path):
         tracer = Tracer()
-        with tracer.span("a"):
-            with tracer.span("b", cover=frozenset({1, 2})):
-                pass
+        with tracer.span("a"), tracer.span("b", cover=frozenset({1, 2})):
+            pass
         tracer.record("custom", {"value": 7})
         path = tmp_path / "trace.jsonl"
         written = tracer.export_jsonl(path)
