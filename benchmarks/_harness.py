@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.answering import QueryAnswerer
+from repro.cache import QueryCache
 from repro.cost import CostConstants, CostModel, calibrate
 from repro.datasets import (
     build_dblp_database,
@@ -181,6 +182,26 @@ def answerer(dataset: str, engine_name: str) -> QueryAnswerer:
     )
 
 
+@lru_cache(maxsize=None)
+def cached_answerer(dataset: str, engine_name: str) -> QueryAnswerer:
+    """A QueryAnswerer with the multi-level query cache enabled.
+
+    Deliberately built with its *own* reformulator (not the shared
+    memoizing :func:`reformulator`), so the cache's hit/miss accounting
+    — and cold-vs-warm comparisons — are self-contained.
+    """
+    return QueryAnswerer(
+        database(dataset),
+        engine=engine(dataset, engine_name),
+        cost_model=cost_model(dataset, engine_name),
+        reformulator=Reformulator(
+            database(dataset).schema, limit=REFORMULATION_TERM_LIMIT
+        ),
+        ecov_max_covers=20_000,
+        cache=QueryCache(),
+    )
+
+
 # ----------------------------------------------------------------------
 # Workloads
 # ----------------------------------------------------------------------
@@ -251,6 +272,7 @@ def measure(
     timeout_s: Optional[float] = None,
     trace: bool = False,
     verify_ir: bool = False,
+    cache: bool = False,
 ) -> Measurement:
     """Answer one query under one strategy/engine, with missing-bar semantics.
 
@@ -259,14 +281,18 @@ def measure(
     is attached to the measurement.  With ``verify_ir=True`` every
     compilation stage is asserted by the IR verifier; a verification
     failure is *not* converted to missing-bar semantics — it propagates,
-    because it marks a pipeline bug rather than an engine limit.
+    because it marks a pipeline bug rather than an engine limit.  With
+    ``cache=True`` the measurement goes through the cache-enabled
+    answerer (:func:`cached_answerer`): repeated measurements of the
+    same (query, strategy) are then warm, and the per-call cache
+    counters appear under ``metrics``.
     """
     from repro.optimizer import SearchInfeasible
     from repro.reformulation import ReformulationLimitExceeded
 
     timeout_s = EVAL_TIMEOUT_S if timeout_s is None else timeout_s
     tracer = Tracer() if trace else None
-    qa = answerer(dataset, engine_name)
+    qa = cached_answerer(dataset, engine_name) if cache else answerer(dataset, engine_name)
     try:
         report = qa.answer(
             entry.query,
@@ -312,6 +338,7 @@ def run_grid(
     timeout_s: Optional[float] = None,
     trace: bool = False,
     verify_ir: bool = False,
+    cache: bool = False,
 ) -> List[Measurement]:
     """The full (query × strategy × engine) grid of one figure."""
     results = []
@@ -327,6 +354,7 @@ def run_grid(
                         timeout_s,
                         trace,
                         verify_ir,
+                        cache,
                     )
                 )
     return results

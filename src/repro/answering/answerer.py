@@ -33,14 +33,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..cache.lru import MISSING
+from ..cache.manager import QueryCache
 from ..cost.model import CostModel
 from ..engine.evaluator import AnswerSet, NativeEngine
 from ..optimizer.ecov import ecov
 from ..optimizer.gcov import gcov
+from ..optimizer.search import SearchInfeasible
 from ..query.algebra import JUCQ, ucq_as_jucq
 from ..query.bgp import BGPQuery
 from ..reformulation.jucq import scq_reformulation
-from ..reformulation.reformulate import Reformulator
+from ..reformulation.reformulate import ReformulationLimitExceeded, Reformulator
 from ..storage.database import RDFDatabase
 from ..telemetry import (
     NULL_TRACER,
@@ -121,6 +124,7 @@ class QueryAnswerer:
         ecov_max_covers: int = 100_000,
         tracer=None,
         verify_ir: bool = False,
+        cache: Optional[QueryCache] = None,
     ):
         self.database = database
         self.engine = engine if engine is not None else NativeEngine(database)
@@ -139,7 +143,17 @@ class QueryAnswerer:
         #: stage (DESIGN.md §8); raises
         #: :class:`repro.analysis.IRVerificationError` on corruption.
         self.verify_ir = verify_ir
+        #: Multi-level query cache (DESIGN.md §9).  None disables plan
+        #: caching entirely; when set, the reformulator's memo and the
+        #: engine's SQL cache (if any) are registered for unified stats.
+        self.cache = cache
+        if cache is not None:
+            cache.register("reformulation", self.reformulator.cache)
+            engine_sql_cache = getattr(self.engine, "sql_cache", None)
+            if engine_sql_cache is not None:
+                cache.register("sql", engine_sql_cache)
         self._saturated_engine = None
+        self._saturated_key = None
 
     # ------------------------------------------------------------------
     # Planning
@@ -166,7 +180,7 @@ class QueryAnswerer:
             from ..analysis.verifier import verify_bgp
 
             verify_bgp(query)
-        planned, search = self._plan(query, strategy, tracer)
+        planned, search = self._plan_cached(query, strategy, tracer)
         if verify:
             from ..analysis.verifier import verify_pipeline
 
@@ -175,6 +189,34 @@ class QueryAnswerer:
                 planned,
                 cover=None if search is None else search.cover,
             )
+        return planned, search
+
+    def _plan_cached(self, query: BGPQuery, strategy: str, tracer=None):
+        """Plan-cache wrapper around :meth:`_plan` (DESIGN.md §9).
+
+        Entries are keyed by (query fingerprint, strategy, schema
+        fingerprint, stats epoch), so any schema or data mutation makes
+        a fresh key and stale plans are never served.  Planning
+        *failures* (reformulation-limit overruns, infeasible cover
+        searches) are memoized too and re-raised on warm hits, so a
+        query that cannot be planned fails fast on every retry.  The
+        ``saturation`` strategy plans to the query itself, so there is
+        nothing worth caching.
+        """
+        if self.cache is None or strategy == "saturation":
+            return self._plan(query, strategy, tracer)
+        entry = self.cache.get_plan(self.database, query, strategy)
+        if entry is not MISSING:
+            outcome, payload = entry
+            if outcome == "error":
+                raise payload
+            return payload
+        try:
+            planned, search = self._plan(query, strategy, tracer)
+        except (ReformulationLimitExceeded, SearchInfeasible) as error:
+            self.cache.put_plan(self.database, query, strategy, ("error", error))
+            raise
+        self.cache.put_plan(self.database, query, strategy, ("ok", (planned, search)))
         return planned, search
 
     def _plan(self, query: BGPQuery, strategy: str = "gcov", tracer=None):
@@ -270,6 +312,7 @@ class QueryAnswerer:
         if record_accuracy is None:
             record_accuracy = tracer.enabled
         metrics = MetricsRecorder()
+        counters_before = None if self.cache is None else self.cache.counters()
         with tracer.span("answer", query=query.name, strategy=strategy) as root:
             start = time.perf_counter()
             with tracer.span("plan", strategy=strategy):
@@ -301,6 +344,13 @@ class QueryAnswerer:
                 eval_span.set(answers=len(answers))
             evaluation_s = time.perf_counter() - start
             root.set(answers=len(answers))
+        if counters_before is not None:
+            # Export this call's cache activity as metric deltas
+            # (cache.<level>.<hits|misses|evictions|invalidations>).
+            for name, value in self.cache.counters().items():
+                delta = value - counters_before.get(name, 0)
+                if delta:
+                    metrics.inc(name, delta)
         predicted_cost = None
         predicted_rows = None
         accuracy = AccuracyRecorder()
@@ -371,11 +421,15 @@ class QueryAnswerer:
     def _engine_for(self, strategy: str):
         if strategy != "saturation":
             return self.engine
-        if self._saturated_engine is None:
+        # The saturated store is a derived artifact: rebuild it whenever
+        # the schema or the data has mutated since it was computed.
+        current = (self.database.schema.fingerprint(), self.database.epoch)
+        if self._saturated_engine is None or self._saturated_key != current:
             saturated_db = self.database.saturated()
             self._saturated_engine = type(self.engine)(
                 saturated_db, *self._engine_extra_args()
             )
+            self._saturated_key = current
         return self._saturated_engine
 
     def _engine_extra_args(self):

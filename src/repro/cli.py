@@ -17,6 +17,11 @@ Commands
 ``stats``
     Summarize a dataset: triples, dictionary, schema, class histogram.
 
+``cache-stats``
+    Answer a workload repeatedly through the multi-level query cache
+    (DESIGN.md §9) and report per-level hit/miss/eviction statistics
+    plus the cold-vs-warm pass timings.
+
 ``profile``
     Answer a query with full telemetry: span tree, operator counters,
     cost-model accuracy (q-errors), and the optimizer's best-cost
@@ -50,6 +55,7 @@ from typing import List, Optional
 from .analysis import IRVerificationError, Severity
 from .analysis.lint import lint_query, lint_text
 from .answering import STRATEGIES, QueryAnswerer
+from .cache import QueryCache
 from .datasets import DBLPGenerator, DBLPProfile, LUBMGenerator, dblp_schema, lubm_schema
 from .engine import NativeEngine, SQLiteEngine, to_sql
 from .query import parse_query
@@ -88,6 +94,12 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
         help="assert IR well-formedness after each compilation stage "
         "(debug mode; see DESIGN.md §8)",
     )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the multi-level query cache (DESIGN.md §9); "
+        "cache counters appear in the metrics output",
+    )
 
 
 def _load_database(path: str) -> RDFDatabase:
@@ -119,12 +131,15 @@ def _parse_with_prefixes(text: str, prefixes: List[str]):
 
 
 def _answerer(
-    database: RDFDatabase, engine_kind: str, verify_ir: bool = False
+    database: RDFDatabase,
+    engine_kind: str,
+    verify_ir: bool = False,
+    cache: Optional[QueryCache] = None,
 ) -> QueryAnswerer:
     engine = (
         SQLiteEngine(database) if engine_kind == "sqlite" else NativeEngine(database)
     )
-    return QueryAnswerer(database, engine=engine, verify_ir=verify_ir)
+    return QueryAnswerer(database, engine=engine, verify_ir=verify_ir, cache=cache)
 
 
 # ----------------------------------------------------------------------
@@ -168,12 +183,22 @@ def cmd_query(args: argparse.Namespace) -> int:
     else:
         query = _parse_with_prefixes(args.query, args.prefix)
     parse_s = time.perf_counter() - parse_start
-    answerer = _answerer(database, args.engine, verify_ir=args.verify_ir)
+    cache = QueryCache() if args.cache else None
+    answerer = _answerer(database, args.engine, verify_ir=args.verify_ir, cache=cache)
     _print_lint_findings(lint_query(query, database=database))
+    repeat = max(1, args.repeat)
     try:
-        report = answerer.answer(
-            query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
-        )
+        for iteration in range(repeat):
+            report = answerer.answer(
+                query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
+            )
+            if repeat > 1:
+                print(
+                    f"# run {iteration + 1}/{repeat}: "
+                    f"optimize={report.optimization_s * 1000:.1f}ms "
+                    f"evaluate={report.evaluation_s * 1000:.1f}ms",
+                    file=sys.stderr,
+                )
     except IRVerificationError as error:
         _print_verification_failure(error)
         return 2
@@ -191,6 +216,14 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"| total={report.total_s * 1000:.1f}ms (total excludes parse)",
         file=sys.stderr,
     )
+    if cache is not None:
+        for level, stats in cache.stats().items():
+            print(
+                f"# cache.{level}: size={stats['size']} hits={stats['hits']} "
+                f"misses={stats['misses']} evictions={stats['evictions']} "
+                f"hit_rate={stats['hit_rate']:.2f}",
+                file=sys.stderr,
+            )
     counters = report.metrics.get("counters", {})
     if counters:
         print(
@@ -226,7 +259,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     tracer = Tracer()
     with tracer.span("parse"):
         query = _parse_with_prefixes(args.query, args.prefix)
-    answerer = _answerer(database, args.engine, verify_ir=args.verify_ir)
+    answerer = _answerer(
+        database,
+        args.engine,
+        verify_ir=args.verify_ir,
+        cache=QueryCache() if args.cache else None,
+    )
     _print_lint_findings(lint_query(query, database=database))
     try:
         report = answerer.answer(
@@ -298,7 +336,12 @@ def cmd_explain(args: argparse.Namespace) -> int:
     """``repro explain``: show the chosen reformulation without running it."""
     database = _load_database(args.data)
     query = _parse_with_prefixes(args.query, args.prefix)
-    answerer = _answerer(database, args.engine, verify_ir=args.verify_ir)
+    answerer = _answerer(
+        database,
+        args.engine,
+        verify_ir=args.verify_ir,
+        cache=QueryCache() if args.cache else None,
+    )
     start = time.perf_counter()
     try:
         planned, search = answerer.plan(query, args.strategy)
@@ -385,6 +428,80 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    """``repro cache-stats``: exercise the query cache and report hit rates.
+
+    Answers a workload (or explicit ``-q`` queries) ``--repeat`` times
+    through a cache-enabled answerer, timing each pass, then prints the
+    per-level cache statistics.  The first pass is cold; later passes
+    show the warm-cache optimize-time drop (the ISSUE's headline
+    number).  Queries whose reformulation exceeds ``--limit`` union
+    terms are skipped, so huge workload entries don't dominate.
+    """
+    database = _load_database(args.data)
+    cache = QueryCache()
+    answerer = _answerer(database, args.engine, cache=cache)
+    answerer.reformulator.limit = args.limit
+    queries = []
+    declarations = "".join(
+        f"PREFIX {declaration.partition('=')[0]}: "
+        f"<{declaration.partition('=')[2]}> "
+        for declaration in args.prefix
+    )
+    for index, text in enumerate(args.query or []):
+        queries.append((f"q{index + 1}", parse_query(declarations + text)))
+    if args.workload:
+        from .datasets import dblp_workload, lubm_workload
+
+        entries = lubm_workload() if args.workload == "lubm" else dblp_workload()
+        queries.extend((entry.name, entry.query) for entry in entries)
+    if not queries:
+        print("cache-stats needs at least one -q QUERY or --workload", file=sys.stderr)
+        return 2
+    from .engine import EngineFailure
+    from .optimizer import SearchInfeasible
+    from .reformulation import ReformulationLimitExceeded
+
+    skipped = set()
+    for iteration in range(max(1, args.repeat)):
+        optimize_s = evaluate_s = 0.0
+        answered = 0
+        for name, query in queries:
+            if name in skipped:
+                continue
+            try:
+                report = answerer.answer(
+                    query, strategy=args.strategy, timeout_s=args.timeout
+                )
+            except (ReformulationLimitExceeded, SearchInfeasible, EngineFailure):
+                skipped.add(name)
+                continue
+            optimize_s += report.optimization_s
+            evaluate_s += report.evaluation_s
+            answered += 1
+        label = "cold" if iteration == 0 else "warm"
+        print(
+            f"pass {iteration + 1} ({label}): {answered} queries "
+            f"| optimize={optimize_s * 1000:.1f}ms "
+            f"| evaluate={evaluate_s * 1000:.1f}ms"
+        )
+    if skipped:
+        print(
+            f"skipped (infeasible or > {args.limit} union terms): "
+            f"{', '.join(sorted(skipped))}"
+        )
+    print("\n== cache levels ==")
+    for level, stats in sorted(cache.stats().items()):
+        print(
+            f"  {level:<14} size={stats['size']:>5}/{stats['capacity'] or '∞'} "
+            f"hits={stats['hits']:>6} misses={stats['misses']:>6} "
+            f"evictions={stats['evictions']:>4} "
+            f"invalidations={stats['invalidations']:>3} "
+            f"hit_rate={stats['hit_rate']:.2f}"
+        )
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """``repro stats``: summarize a dataset."""
     database = _load_database(args.data)
@@ -435,6 +552,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--timeout", type=float, default=None, help="seconds")
     query.add_argument(
         "--trace", metavar="FILE", help="export a JSON-lines telemetry trace"
+    )
+    query.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="answer the query N times (with --cache, later runs are warm)",
     )
     query.set_defaults(handler=cmd_query)
 
@@ -494,6 +618,47 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("data", help="N-Triples file")
     stats.add_argument("--top", type=int, default=10, help="histogram rows")
     stats.set_defaults(handler=cmd_stats)
+
+    cache_stats = commands.add_parser(
+        "cache-stats", help="exercise the query cache and report hit rates"
+    )
+    cache_stats.add_argument("data", help="N-Triples file (constraints + facts)")
+    cache_stats.add_argument(
+        "-q", "--query", action="append", default=[], help="SPARQL BGP text (repeatable)"
+    )
+    cache_stats.add_argument(
+        "--prefix",
+        action="append",
+        default=[],
+        metavar="NAME=IRI",
+        help="extra prefix declaration (repeatable)",
+    )
+    cache_stats.add_argument(
+        "--workload",
+        choices=("lubm", "dblp"),
+        help="answer a bundled benchmark workload",
+    )
+    cache_stats.add_argument(
+        "--strategy", choices=STRATEGIES, default="gcov", help="answering strategy"
+    )
+    cache_stats.add_argument(
+        "--engine",
+        choices=("native", "sqlite"),
+        default="native",
+        help="evaluation engine",
+    )
+    cache_stats.add_argument(
+        "--repeat", type=int, default=2, metavar="N", help="answering passes (default 2)"
+    )
+    cache_stats.add_argument("--timeout", type=float, default=None, help="seconds")
+    cache_stats.add_argument(
+        "--limit",
+        type=int,
+        default=20_000,
+        metavar="TERMS",
+        help="skip queries whose reformulation exceeds this many union terms",
+    )
+    cache_stats.set_defaults(handler=cmd_cache_stats)
     return parser
 
 

@@ -38,6 +38,7 @@ class CardinalityEstimator:
     def __init__(self, database: RDFDatabase):
         self.database = database
         self._cq_cache: Dict[Tuple, float] = {}
+        self._synced_epoch = database.statistics.epoch
 
     # ------------------------------------------------------------------
     # Atoms
@@ -80,7 +81,15 @@ class CardinalityEstimator:
     # Conjunctive queries
     # ------------------------------------------------------------------
     def cq_cardinality(self, cq: BGPQuery) -> float:
-        """Estimated answer count of one conjunct (before head projection cap)."""
+        """Estimated answer count of one conjunct (before head projection cap).
+
+        Memoized per canonical conjunct form; the memo is epoch-guarded
+        so estimates never survive a data update (DESIGN.md §9).
+        """
+        epoch = self.database.statistics.epoch
+        if epoch != self._synced_epoch:
+            self._cq_cache.clear()
+            self._synced_epoch = epoch
         key = cq.canonical()
         cached = self._cq_cache.get(key)
         if cached is None:

@@ -17,6 +17,7 @@ import sqlite3
 import time
 from typing import Optional
 
+from ..cache.lru import MISSING, LRUCache
 from ..storage.database import RDFDatabase
 from ..telemetry.metrics import MetricsRecorder
 from ..telemetry.tracer import NULL_TRACER
@@ -31,9 +32,20 @@ _INDEX_ORDERS = ("spo", "sop", "pso", "pos", "osp", "ops")
 class SQLiteEngine:
     """Evaluates queries by compiling them to SQL and running SQLite."""
 
-    def __init__(self, database: RDFDatabase, path: str = ":memory:"):
+    def __init__(
+        self,
+        database: RDFDatabase,
+        path: str = ":memory:",
+        sql_capacity: Optional[int] = 256,
+    ):
         self.database = database
         self.connection = sqlite3.connect(path)
+        #: Compiled-SQL text cache (the *SQL cache* level of DESIGN.md
+        #: §9).  Keyed by (query, dictionary size): generated SQL depends
+        #: on the data only through dictionary lookups — a constant that
+        #: was unknown compiles to an unsatisfiable conjunct — and lookup
+        #: results can only change when the dictionary grows.
+        self.sql_cache: LRUCache = LRUCache(sql_capacity)
         self._load()
 
     name = "sqlite"
@@ -52,6 +64,21 @@ class SQLiteEngine:
             cursor.execute(f"CREATE INDEX idx_{order} ON triples ({columns})")
         cursor.execute("ANALYZE")
         self.connection.commit()
+        self._loaded_version = self.database.table.version
+
+    def _refresh(self) -> None:
+        """Reload the SQLite copy when the triple table has mutated."""
+        if self.database.table.version != self._loaded_version:
+            self._load()
+
+    def _compile(self, query) -> str:
+        """``to_sql`` with a bounded per-(query, dictionary-size) memo."""
+        key = (query, len(self.database.dictionary))
+        sql = self.sql_cache.get(key, MISSING)
+        if sql is MISSING:
+            sql = to_sql(query, self.database.dictionary)
+            self.sql_cache.put(key, sql)
+        return sql
 
     # ------------------------------------------------------------------
     # Public API
@@ -70,9 +97,11 @@ class SQLiteEngine:
         fetched-row counters.
         """
         tracer = NULL_TRACER if tracer is None else tracer
+        self._refresh()
         with tracer.span("sqlite.compile") as span:
-            sql = to_sql(query, self.database.dictionary)
-            span.set(sql_chars=len(sql))
+            hits_before = self.sql_cache.hits
+            sql = self._compile(query)
+            span.set(sql_chars=len(sql), cached=self.sql_cache.hits > hits_before)
         with tracer.span("sqlite.execute", sql_chars=len(sql)) as span:
             rows = self.execute_sql(sql, timeout_s)
             span.set(rows=len(rows))
@@ -89,7 +118,8 @@ class SQLiteEngine:
 
     def count(self, query, timeout_s: Optional[float] = None) -> int:
         """Number of distinct answers."""
-        rows = self.execute_sql(to_sql(query, self.database.dictionary), timeout_s)
+        self._refresh()
+        rows = self.execute_sql(self._compile(query), timeout_s)
         return len(rows)
 
     def execute_sql(self, sql: str, timeout_s: Optional[float] = None):
@@ -116,7 +146,8 @@ class SQLiteEngine:
 
     def explain(self, query) -> str:
         """SQLite's query plan for the compiled SQL (diagnostics)."""
-        sql = to_sql(query, self.database.dictionary)
+        self._refresh()
+        sql = self._compile(query)
         try:
             rows = self.connection.execute(f"EXPLAIN QUERY PLAN {sql}").fetchall()
         except sqlite3.Error as error:

@@ -148,6 +148,16 @@ class JUCQ:
     def __iter__(self):
         return iter(self.operands)
 
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, JUCQ)
+            and self.head == other.head
+            and self.operands == other.operands
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.operands))
+
     def __repr__(self) -> str:
         shape = " ⋈ ".join(f"U{len(u)}" for u in self.operands)
         return f"JUCQ({shape}, head=({', '.join(map(str, self.head))}))"

@@ -45,7 +45,7 @@ class BGPQuery:
     atoms, so atom order is irrelevant.
     """
 
-    __slots__ = ("name", "head", "body", "_body_set", "_canonical")
+    __slots__ = ("name", "head", "body", "_body_set", "_canonical", "_fingerprint")
 
     def __init__(
         self,
@@ -70,6 +70,8 @@ class BGPQuery:
         self.body: Tuple[Triple, ...] = body
         self._body_set = frozenset(body)
         self._canonical = None
+        #: Lazily filled by :func:`repro.cache.fingerprint.query_fingerprint`.
+        self._fingerprint = None
         self._check_safety()
 
     @classmethod
@@ -88,6 +90,7 @@ class BGPQuery:
         query.body = body
         query._body_set = frozenset(body)
         query._canonical = None
+        query._fingerprint = None
         return query
 
     def _check_safety(self) -> None:

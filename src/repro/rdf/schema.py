@@ -23,6 +23,7 @@ they agree (the golden equivalence tested in
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set
 
 from .terms import Term, Triple, URI
@@ -79,6 +80,12 @@ class RDFSchema:
         self._declared_classes: Set[Term] = set()
         self._declared_properties: Set[Term] = set()
         self._closure: Optional[_SchemaClosure] = None
+        self._fingerprint: Optional[str] = None
+
+    def _mutated(self) -> None:
+        """Drop derived state (closure, fingerprint) after any assertion."""
+        self._closure = None
+        self._fingerprint = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -87,37 +94,37 @@ class RDFSchema:
         """Assert ``sub rdfs:subClassOf sup``."""
         self._subclass.setdefault(sub, set()).add(sup)
         self._declared_classes.update((sub, sup))
-        self._closure = None
+        self._mutated()
 
     def add_subproperty(self, sub: Term, sup: Term) -> None:
         """Assert ``sub rdfs:subPropertyOf sup``."""
         self._subproperty.setdefault(sub, set()).add(sup)
         self._declared_properties.update((sub, sup))
-        self._closure = None
+        self._mutated()
 
     def add_domain(self, prop: Term, cls: Term) -> None:
         """Assert ``prop rdfs:domain cls``."""
         self._domain.setdefault(prop, set()).add(cls)
         self._declared_properties.add(prop)
         self._declared_classes.add(cls)
-        self._closure = None
+        self._mutated()
 
     def add_range(self, prop: Term, cls: Term) -> None:
         """Assert ``prop rdfs:range cls``."""
         self._range.setdefault(prop, set()).add(cls)
         self._declared_properties.add(prop)
         self._declared_classes.add(cls)
-        self._closure = None
+        self._mutated()
 
     def declare_class(self, cls: Term) -> None:
         """Register a class not otherwise mentioned in a constraint."""
         self._declared_classes.add(cls)
-        self._closure = None
+        self._mutated()
 
     def declare_property(self, prop: Term) -> None:
         """Register a property not otherwise mentioned in a constraint."""
         self._declared_properties.add(prop)
-        self._closure = None
+        self._mutated()
 
     def add_triple(self, triple: Triple) -> bool:
         """Add a schema triple; returns False when the triple is not a constraint."""
@@ -132,6 +139,53 @@ class RDFSchema:
         else:
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Retraction
+    # ------------------------------------------------------------------
+    def _remove(self, relation: Dict[Term, Set[Term]], source: Term, target: Term) -> bool:
+        targets = relation.get(source)
+        if targets is None or target not in targets:
+            return False
+        targets.discard(target)
+        if not targets:
+            del relation[source]
+        self._mutated()
+        return True
+
+    def remove_subclass(self, sub: Term, sup: Term) -> bool:
+        """Retract ``sub rdfs:subClassOf sup``; True when it was asserted.
+
+        Only the *asserted* constraint is removed — consequences that
+        remain derivable from other assertions stay in the closure.
+        The terms remain declared vocabulary.
+        """
+        return self._remove(self._subclass, sub, sup)
+
+    def remove_subproperty(self, sub: Term, sup: Term) -> bool:
+        """Retract ``sub rdfs:subPropertyOf sup``; True when asserted."""
+        return self._remove(self._subproperty, sub, sup)
+
+    def remove_domain(self, prop: Term, cls: Term) -> bool:
+        """Retract ``prop rdfs:domain cls``; True when it was asserted."""
+        return self._remove(self._domain, prop, cls)
+
+    def remove_range(self, prop: Term, cls: Term) -> bool:
+        """Retract ``prop rdfs:range cls``; True when it was asserted."""
+        return self._remove(self._range, prop, cls)
+
+    def remove_triple(self, triple: Triple) -> bool:
+        """Retract a constraint triple; False when it is not a constraint
+        or was never asserted."""
+        if triple.p == RDFS_SUBCLASS:
+            return self.remove_subclass(triple.s, triple.o)
+        if triple.p == RDFS_SUBPROPERTY:
+            return self.remove_subproperty(triple.s, triple.o)
+        if triple.p == RDFS_DOMAIN:
+            return self.remove_domain(triple.s, triple.o)
+        if triple.p == RDFS_RANGE:
+            return self.remove_range(triple.s, triple.o)
+        return False
 
     @classmethod
     def from_triples(cls, triples: Iterable[Triple]) -> "RDFSchema":
@@ -233,6 +287,33 @@ class RDFSchema:
         for prop, classes in closed.ranges.items():
             for cls in classes:
                 yield Triple(prop, RDFS_RANGE, cls)
+
+    def fingerprint(self) -> str:
+        """A digest identifying this schema's asserted content.
+
+        Covers the asserted constraints *and* the declared vocabulary
+        (reformulation rules 5-7 instantiate class/property variables
+        over the declared classes and properties, so two schemas with
+        the same constraints but different vocabularies reformulate
+        differently).  Cached; every mutator drops it.  This is the
+        schema component of every reformulation-cache key
+        (DESIGN.md §9).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for triple in self.to_triples():
+                digest.update(
+                    f"{triple.s.kind}:{triple.s.value}|{triple.p.value}"
+                    f"|{triple.o.kind}:{triple.o.value};".encode("utf-8")
+                )
+            for tag, members in (
+                ("C", self._declared_classes),
+                ("P", self._declared_properties),
+            ):
+                for term in sorted(members):
+                    digest.update(f"{tag}:{term.kind}:{term.value};".encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __len__(self) -> int:
         """Number of asserted constraint triples."""

@@ -41,8 +41,9 @@ produces exactly the 11 union terms (0)-(10) listed in the paper.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
+from ..cache.lru import MISSING, LRUCache
 from ..rdf.schema import RDFSchema
 from ..rdf.terms import Triple, Variable
 from ..rdf.vocabulary import (
@@ -70,15 +71,37 @@ class Reformulator:
 
     Memoizes per-query results: the optimizers reformulate the same
     cover queries (fragments) many times while scoring candidate covers.
+
+    The memo is the *reformulation cache* level of DESIGN.md §9: a
+    (bounded, when ``capacity`` is given) LRU keyed by the query's
+    canonical form, guarded by the schema fingerprint — any schema
+    mutation drops every entry on the next call, while data updates
+    leave it untouched (a reformulation is a pure schema consequence).
     """
 
-    def __init__(self, schema: RDFSchema, limit: Optional[int] = None):
+    def __init__(
+        self,
+        schema: RDFSchema,
+        limit: Optional[int] = None,
+        capacity: Optional[int] = None,
+    ):
         self.schema = schema
         self.limit = limit
-        self._cache: Dict[Tuple, UCQ] = {}
-        self._count_cache: Dict[Tuple, int] = {}
+        #: Canonical query form → UCQ (or a memoized limit failure).
+        self.cache: LRUCache = LRUCache(capacity)
+        self._count_cache: LRUCache = LRUCache(capacity)
+        self._schema_fp: Optional[str] = None
         #: Number of non-memoized reformulation runs (instrumentation).
         self.runs = 0
+
+    def _sync(self) -> None:
+        """Drop the memos when the schema has mutated since they filled."""
+        fingerprint = self.schema.fingerprint()
+        if fingerprint != self._schema_fp:
+            if self._schema_fp is not None:
+                self.cache.clear()
+                self._count_cache.clear()
+            self._schema_fp = fingerprint
 
     def reformulate(self, query: BGPQuery) -> UCQ:
         """The UCQ reformulation of ``query`` w.r.t. the schema.
@@ -87,16 +110,17 @@ class Reformulator:
         the term limit fails instantly on every later request instead
         of re-materializing up to the limit each time.
         """
+        self._sync()
         key = query.canonical()
-        cached = self._cache.get(key)
-        if cached is None:
+        cached = self.cache.get(key, MISSING)
+        if cached is MISSING:
             try:
                 cached = reformulate(query, self.schema, limit=self.limit)
             except ReformulationLimitExceeded as error:
-                self._cache[key] = error
+                self.cache.put(key, error)
                 self.runs += 1
                 raise
-            self._cache[key] = cached
+            self.cache.put(key, cached)
             self.runs += 1
         if isinstance(cached, ReformulationLimitExceeded):
             raise cached
@@ -105,16 +129,17 @@ class Reformulator:
     def count(self, query: BGPQuery) -> int:
         """``|q_ref|`` without materializing the union (see
         :func:`reformulation_count`)."""
+        self._sync()
         key = query.canonical()
-        cached = self._count_cache.get(key)
-        if cached is None:
-            already = self._cache.get(key)
+        cached = self._count_cache.get(key, MISSING)
+        if cached is MISSING:
+            already = self.cache.peek(key, MISSING)
             cached = (
                 len(already)
-                if already is not None
+                if already is not MISSING and isinstance(already, UCQ)
                 else reformulation_count(query, self.schema)
             )
-            self._count_cache[key] = cached
+            self._count_cache.put(key, cached)
         return cached
 
 

@@ -49,11 +49,25 @@ class RDFDatabase:
         return cls.from_triples(graph, bits=bits)
 
     def load_facts(self, facts: Iterable[Triple]) -> int:
-        """Add fact triples and rebuild the indexes."""
+        """Add fact triples and rebuild the indexes.
+
+        Statistics invalidation is automatic: the mutation bumps the
+        table version (and thus :attr:`epoch`), which every statistics
+        read — and every epoch-keyed cache — checks.
+        """
         added = self.table.add_triples(facts)
         self.table.freeze()
-        self.statistics.invalidate()
         return added
+
+    @property
+    def epoch(self) -> int:
+        """The statistics snapshot epoch; bumps on every data mutation.
+
+        Plan- and cardinality-cache entries are keyed by this value so
+        data updates invalidate them, while schema-fingerprint-keyed
+        reformulations survive (DESIGN.md §9).
+        """
+        return self.statistics.epoch
 
     # ------------------------------------------------------------------
     # Views

@@ -14,6 +14,15 @@ various fragments"):
 
 Both are memoized: the optimizer probes the same patterns many times
 across candidate covers.
+
+Staleness is handled automatically: every read compares the table's
+:attr:`~repro.storage.triple_table.TripleTable.version` against the
+version the memos were built for and drops them on mismatch, so write
+paths need no manual :meth:`TableStatistics.invalidate` call.  The
+:attr:`epoch` derived from the same version is the *statistics snapshot
+epoch* that keys every statistics-dependent cache entry (plans,
+cardinalities — DESIGN.md §9): a data update bumps it and thereby
+invalidates those entries, while schema-stable reformulations survive.
 """
 
 from __future__ import annotations
@@ -30,6 +39,29 @@ class TableStatistics:
         self.table = table
         self._count_cache: Dict[Pattern, int] = {}
         self._distinct_cache: Dict[Tuple[Pattern, int], int] = {}
+        self._synced_version = table.version
+        #: How many times the memos were dropped because the table
+        #: changed underneath (instrumentation).
+        self.auto_invalidations = 0
+
+    def _sync(self) -> None:
+        """Drop the memos when the table has mutated since they were built."""
+        version = self.table.version
+        if version != self._synced_version:
+            self._count_cache.clear()
+            self._distinct_cache.clear()
+            self._synced_version = version
+            self.auto_invalidations += 1
+
+    @property
+    def epoch(self) -> int:
+        """The statistics snapshot epoch (the table's mutation version).
+
+        Any two reads with equal epochs saw identical data; caches
+        keyed by ``(…, epoch)`` therefore invalidate exactly when the
+        data changes.
+        """
+        return self.table.version
 
     @property
     def triple_count(self) -> int:
@@ -38,6 +70,7 @@ class TableStatistics:
 
     def pattern_count(self, pattern: Pattern) -> int:
         """Exact number of triples matching an encoded pattern."""
+        self._sync()
         cached = self._count_cache.get(pattern)
         if cached is None:
             cached = self.table.match_count(pattern)
@@ -52,6 +85,7 @@ class TableStatistics:
         """
         if pattern[position] is not None:
             return 1 if self.pattern_count(pattern) else 0
+        self._sync()
         key = (pattern, position)
         cached = self._distinct_cache.get(key)
         if cached is None:
@@ -60,9 +94,15 @@ class TableStatistics:
         return cached
 
     def invalidate(self) -> None:
-        """Drop caches (call after the table content changes)."""
+        """Drop the memos explicitly.
+
+        Retained for callers that want to bound memory; correctness no
+        longer depends on it — every read auto-invalidates against the
+        table version (see the module docstring).
+        """
         self._count_cache.clear()
         self._distinct_cache.clear()
+        self._synced_version = self.table.version
 
     def probe_calls(self) -> Tuple[int, int]:
         """(count-cache size, distinct-cache size) — for instrumentation."""

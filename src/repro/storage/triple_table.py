@@ -86,6 +86,19 @@ class TripleTable:
         self._indexes: Optional[dict] = None
         self._dirty = True
         self._count = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone content-mutation counter.
+
+        Bumped by every buffering call that could change the stored
+        content; :class:`~repro.storage.statistics.TableStatistics`
+        (and everything derived from it — cardinality estimates, plan
+        caches) compares this against the version it last synced to, so
+        statistics can never silently go stale (DESIGN.md §9).
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Loading
@@ -97,22 +110,29 @@ class TripleTable:
         for triple in triples:
             self._pending.append((encode(triple.s), encode(triple.p), encode(triple.o)))
             added += 1
-        self._dirty = True
+        if added:
+            self._dirty = True
+            self._version += 1
         return added
 
     def add_encoded(self, rows: Iterable[Tuple[int, int, int]]) -> int:
         """Buffer already-encoded rows."""
         before = len(self._pending)
         self._pending.extend(rows)
-        self._dirty = True
-        return len(self._pending) - before
+        added = len(self._pending) - before
+        if added:
+            self._dirty = True
+            self._version += 1
+        return added
 
     def add_block(self, block: np.ndarray) -> int:
         """Buffer an already-encoded ``(n, 3)`` array without conversion."""
         if block.ndim != 2 or block.shape[1] != 3:
             raise ValueError(f"expected an (n, 3) block, got shape {block.shape}")
         self._pending_blocks.append(np.asarray(block, dtype=np.int64))
-        self._dirty = True
+        if block.shape[0]:
+            self._dirty = True
+            self._version += 1
         return int(block.shape[0])
 
     def freeze(self) -> None:

@@ -1,0 +1,140 @@
+"""Differential test oracle: every answering strategy must agree.
+
+The system's end-to-end correctness claim (Theorem 3.1 plus the
+saturation baseline) is that *all* strategies compute the same answer
+set for any query.  :func:`differential_check` runs one query under
+every requested strategy through a shared answerer and asserts the
+results are identical — skipping, rather than failing, the strategies
+that legitimately cannot run a given query (reformulations past the
+term budget, infeasible exhaustive searches, engine statement limits).
+
+:func:`random_queries` generates seeded, schema-aware random BGPs so
+sweeps are reproducible without a fixed workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.answering import QueryAnswerer
+from repro.cache import QueryCache
+from repro.engine import EngineFailure
+from repro.optimizer import SearchInfeasible
+from repro.query import BGPQuery
+from repro.rdf import RDF_TYPE, Triple, Variable
+from repro.reformulation import ReformulationLimitExceeded, Reformulator
+from repro.storage import RDFDatabase
+
+#: Strategies a sweep exercises by default; ``saturation`` is the
+#: reformulation-free ground truth and must always succeed.
+DEFAULT_STRATEGIES = ("saturation", "ucq", "scq", "gcov")
+
+#: Reformulation term budget: queries whose UCQ grows past this are
+#: skipped for the strategies that would materialize it (the paper's
+#: q2-class monsters reach ~300k terms).
+DEFAULT_TERM_BUDGET = 20_000
+
+
+def make_answerer(
+    database: RDFDatabase,
+    engine=None,
+    cache: Optional[QueryCache] = None,
+    term_budget: int = DEFAULT_TERM_BUDGET,
+) -> QueryAnswerer:
+    """An answerer wired for differential sweeps (own term-limited memo)."""
+    return QueryAnswerer(
+        database,
+        engine=engine,
+        reformulator=Reformulator(database.schema, limit=term_budget),
+        cache=cache,
+    )
+
+
+def strategy_answers(
+    answerer: QueryAnswerer,
+    query: BGPQuery,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+) -> Dict[str, Optional[frozenset]]:
+    """Answer ``query`` under each strategy; infeasible ones map to None."""
+    results: Dict[str, Optional[frozenset]] = {}
+    for strategy in strategies:
+        try:
+            results[strategy] = answerer.answer(query, strategy=strategy).answers
+        except (ReformulationLimitExceeded, SearchInfeasible, EngineFailure):
+            results[strategy] = None
+    return results
+
+
+def differential_check(
+    answerer: QueryAnswerer,
+    query: BGPQuery,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    label: str = "",
+) -> Dict[str, Optional[frozenset]]:
+    """Assert every runnable strategy returns the same answer set.
+
+    Requires the ``saturation`` baseline (when requested) to succeed,
+    and at least two strategies to have produced answers — a sweep
+    where everything skipped would silently verify nothing.
+    Returns the per-strategy results so callers can additionally
+    compare runs (e.g. cold vs warm cache).
+    """
+    results = strategy_answers(answerer, query, strategies)
+    ran = {name: answers for name, answers in results.items() if answers is not None}
+    context = label or getattr(query, "name", "query")
+    if "saturation" in strategies:
+        assert results["saturation"] is not None, (
+            f"{context}: the saturation baseline must always run"
+        )
+    assert len(ran) >= 2, f"{context}: fewer than two strategies ran ({ran.keys()})"
+    reference_name, reference = next(iter(ran.items()))
+    for name, answers in ran.items():
+        assert answers == reference, (
+            f"{context}: strategy {name} disagrees with {reference_name} "
+            f"({len(answers)} vs {len(reference)} answers)"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Seeded random BGP generation
+# ----------------------------------------------------------------------
+def random_queries(
+    database: RDFDatabase, count: int, seed: int = 0, max_atoms: int = 3
+) -> List[BGPQuery]:
+    """``count`` seeded, connected, schema-aware random BGP queries.
+
+    Atoms draw classes and properties from the database's schema, so
+    reformulation has real rules to apply; all queries share a central
+    variable, keeping them connected (a cover requirement).
+    """
+    rng = random.Random(seed)
+    classes = sorted(database.schema.classes, key=str)
+    properties = sorted(database.schema.properties, key=str)
+    if not classes or not properties:
+        raise ValueError("random_queries needs a schema with classes and properties")
+    variables = [Variable(name) for name in "abcd"]
+    queries = []
+    for index in range(count):
+        shared = variables[0]
+        atoms = []
+        for _ in range(rng.randint(1, max_atoms)):
+            kind = rng.random()
+            if kind < 0.4:
+                atoms.append(Triple(shared, RDF_TYPE, rng.choice(classes)))
+            elif kind < 0.5:
+                # A class-variable atom: exercises instantiation rules.
+                atoms.append(Triple(shared, RDF_TYPE, rng.choice(variables[1:])))
+            else:
+                prop = rng.choice(properties)
+                other = rng.choice(variables[1:])
+                if rng.random() < 0.5:
+                    atoms.append(Triple(shared, prop, other))
+                else:
+                    atoms.append(Triple(other, prop, shared))
+        used = sorted({v for atom in atoms for v in atom.variables()}, key=str)
+        head_size = rng.randint(1, min(2, len(used)))
+        head = rng.sample(used, head_size)
+        queries.append(BGPQuery(head, atoms, name=f"rnd{seed}_{index}"))
+    return queries

@@ -1,0 +1,236 @@
+"""Cache invalidation under schema and data mutation (DESIGN.md §9).
+
+The invalidation matrix under test:
+
+=====================  ==============  ============
+update                 reformulations  plans
+=====================  ==============  ============
+data (insert)          survive         invalidated
+schema (constraints)   invalidated     invalidated
+=====================  ==============  ============
+
+Each schema mutation kind (add/remove × subclass/subproperty/domain/
+range) must (a) change the answers when it semantically should, and
+(b) never let a stale cached reformulation or plan leak through — the
+cached answerer is differentially checked against a *fresh* answerer
+after every mutation.  Data-only changes must keep reformulations warm
+(they are pure schema consequences) while forcing a re-plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from oracle import differential_check, make_answerer
+from repro.cache import MISSING, QueryCache
+from repro.query import BGPQuery
+from repro.rdf import RDF_TYPE, RDFSchema, Triple, URI, Variable
+from repro.storage import RDFDatabase
+
+
+def ex(name: str) -> URI:
+    return URI(f"http://ex/{name}")
+
+
+def _book_database(book_schema, book_facts) -> RDFDatabase:
+    # Rebuild the schema so mutations don't leak into the session fixture.
+    schema = RDFSchema()
+    for triple in book_schema.to_triples():
+        schema.add_triple(triple)
+    db = RDFDatabase(schema=schema)
+    db.load_facts(book_facts)
+    return db
+
+
+@pytest.fixture()
+def book_db(book_schema, book_facts) -> RDFDatabase:
+    return _book_database(book_schema, book_facts)
+
+
+def _answers(answerer, query, strategy="ucq"):
+    return answerer.answer(query, strategy=strategy).answers
+
+
+def _check_against_fresh(cached_answerer, query, label):
+    """The cached answerer must agree with a fresh (uncached) one."""
+    fresh = make_answerer(cached_answerer.database)
+    differential_check(cached_answerer, query, label=label)
+    assert (
+        _answers(cached_answerer, query) == _answers(fresh, query)
+    ), f"{label}: cached answerer disagrees with a fresh one"
+
+
+# ----------------------------------------------------------------------
+# Schema mutations invalidate reformulations (and plans)
+# ----------------------------------------------------------------------
+class TestSchemaMutations:
+    def _publications_query(self):
+        x = Variable("x")
+        return BGPQuery([x], [Triple(x, RDF_TYPE, ex("Publication"))])
+
+    def test_add_subclass_changes_answers(self, book_db):
+        cache = QueryCache()
+        answerer = make_answerer(book_db, cache=cache)
+        query = self._publications_query()
+        before = _answers(answerer, query)
+        assert ex("doi1") in {row[0] for row in before}
+        # A new Report subclass of Publication, plus a report instance.
+        book_db.schema.add_subclass(ex("Report"), ex("Publication"))
+        book_db.load_facts([Triple(ex("r1"), RDF_TYPE, ex("Report"))])
+        after = _answers(answerer, query)
+        assert ex("r1") in {row[0] for row in after}
+        _check_against_fresh(answerer, query, "add_subclass")
+
+    def test_remove_subclass_changes_answers(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        query = self._publications_query()
+        assert ex("doi1") in {row[0] for row in _answers(answerer, query)}
+        book_db.schema.remove_subclass(ex("Book"), ex("Publication"))
+        after = _answers(answerer, query)
+        assert ex("doi1") not in {row[0] for row in after}
+        _check_against_fresh(answerer, query, "remove_subclass")
+
+    def test_add_remove_subproperty(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        x, y = Variable("x"), Variable("y")
+        query = BGPQuery([x, y], [Triple(x, ex("contributedTo"), y)])
+        assert _answers(answerer, query) == frozenset()
+        book_db.schema.add_subproperty(ex("writtenBy"), ex("contributedTo"))
+        with_sub = _answers(answerer, query)
+        assert (ex("doi1"), ex("b1")) in with_sub
+        _check_against_fresh(answerer, query, "add_subproperty")
+        assert book_db.schema.remove_subproperty(ex("writtenBy"), ex("contributedTo"))
+        assert _answers(answerer, query) == frozenset()
+        _check_against_fresh(answerer, query, "remove_subproperty")
+
+    def test_add_remove_domain(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        x = Variable("x")
+        query = BGPQuery([x], [Triple(x, RDF_TYPE, ex("Document"))])
+        assert _answers(answerer, query) == frozenset()
+        book_db.schema.add_domain(ex("hasTitle"), ex("Document"))
+        assert ex("doi1") in {row[0] for row in _answers(answerer, query)}
+        _check_against_fresh(answerer, query, "add_domain")
+        assert book_db.schema.remove_domain(ex("hasTitle"), ex("Document"))
+        assert _answers(answerer, query) == frozenset()
+        _check_against_fresh(answerer, query, "remove_domain")
+
+    def test_add_remove_range(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        x = Variable("x")
+        query = BGPQuery([x], [Triple(x, RDF_TYPE, ex("Author"))])
+        assert _answers(answerer, query) == frozenset()
+        book_db.schema.add_range(ex("writtenBy"), ex("Author"))
+        assert ex("b1") in {row[0] for row in _answers(answerer, query)}
+        _check_against_fresh(answerer, query, "add_range")
+        assert book_db.schema.remove_range(ex("writtenBy"), ex("Author"))
+        assert _answers(answerer, query) == frozenset()
+        _check_against_fresh(answerer, query, "remove_range")
+
+    def test_schema_mutation_clears_reformulation_memo(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        query = self._publications_query()
+        _answers(answerer, query)
+        memo = answerer.reformulator.cache
+        assert len(memo) > 0
+        invalidations_before = memo.invalidations
+        book_db.schema.add_subclass(ex("Thesis"), ex("Publication"))
+        _answers(answerer, query)
+        assert memo.invalidations > invalidations_before
+
+    def test_schema_mutation_invalidates_plan_key(self, book_db):
+        cache = QueryCache()
+        answerer = make_answerer(book_db, cache=cache)
+        query = self._publications_query()
+        _answers(answerer, query)
+        key_before = cache.plan_key(book_db, query, "ucq")
+        book_db.schema.add_subclass(ex("Thesis"), ex("Publication"))
+        key_after = cache.plan_key(book_db, query, "ucq")
+        assert key_before != key_after
+        # The old entry is unreachable: the lookup under the new key misses.
+        assert cache.plans.peek(key_after, MISSING) is MISSING
+
+
+# ----------------------------------------------------------------------
+# Data-only mutations keep reformulations, invalidate plans
+# ----------------------------------------------------------------------
+class TestDataMutations:
+    def test_data_change_keeps_reformulations_kills_plans(self, book_db):
+        cache = QueryCache()
+        answerer = make_answerer(book_db, cache=cache)
+        x = Variable("x")
+        query = BGPQuery([x], [Triple(x, RDF_TYPE, ex("Publication"))])
+        _answers(answerer, query)
+        memo = answerer.reformulator.cache
+        memo_invalidations = memo.invalidations
+        plan_misses = cache.plans.misses
+        plan_hits = cache.plans.hits
+        # Warm repeat: plan hit, no new miss.
+        _answers(answerer, query)
+        assert cache.plans.hits == plan_hits + 1
+        assert cache.plans.misses == plan_misses
+        # Data-only update: epoch bump ⇒ the next answer re-plans ...
+        book_db.load_facts([Triple(ex("doi2"), RDF_TYPE, ex("Book"))])
+        answers = _answers(answerer, query)
+        assert ex("doi2") in {row[0] for row in answers}
+        assert cache.plans.misses == plan_misses + 1
+        # ... but the reformulation memo survived and served a hit.
+        assert memo.invalidations == memo_invalidations
+        assert memo.hits > 0
+
+    def test_data_change_bumps_epoch_not_schema_fingerprint(self, book_db):
+        fingerprint = book_db.schema.fingerprint()
+        epoch = book_db.epoch
+        book_db.load_facts([Triple(ex("doi3"), RDF_TYPE, ex("Book"))])
+        assert book_db.epoch > epoch
+        assert book_db.schema.fingerprint() == fingerprint
+
+    def test_saturated_baseline_tracks_mutations(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        x = Variable("x")
+        query = BGPQuery([x], [Triple(x, RDF_TYPE, ex("Publication"))])
+        before = answerer.answer(query, strategy="saturation").answers
+        assert ex("doi9") not in {row[0] for row in before}
+        book_db.load_facts([Triple(ex("doi9"), RDF_TYPE, ex("Book"))])
+        after = answerer.answer(query, strategy="saturation").answers
+        assert ex("doi9") in {row[0] for row in after}
+        # And a schema mutation also rebuilds the saturated store.
+        book_db.schema.add_subclass(ex("Memo"), ex("Publication"))
+        book_db.load_facts([Triple(ex("m1"), RDF_TYPE, ex("Memo"))])
+        final = answerer.answer(query, strategy="saturation").answers
+        assert ex("m1") in {row[0] for row in final}
+
+
+# ----------------------------------------------------------------------
+# Statistics can never go stale (regression for the manual-invalidate bug)
+# ----------------------------------------------------------------------
+class TestStatisticsAutoInvalidation:
+    def test_pattern_count_tracks_loads_without_manual_invalidate(self, book_db):
+        type_code = book_db.dictionary.lookup(RDF_TYPE)
+        book_code = book_db.dictionary.lookup(ex("Book"))
+        pattern = (None, type_code, book_code)
+        before = book_db.statistics.pattern_count(pattern)
+        book_db.load_facts([Triple(ex("doi7"), RDF_TYPE, ex("Book"))])
+        assert book_db.statistics.pattern_count(pattern) == before + 1
+        assert book_db.statistics.auto_invalidations >= 1
+
+    def test_distinct_tracks_loads(self, book_db):
+        type_code = book_db.dictionary.lookup(RDF_TYPE)
+        pattern = (None, type_code, None)
+        before = book_db.statistics.distinct(pattern, 0)
+        book_db.load_facts(
+            [Triple(ex(f"extra{i}"), RDF_TYPE, ex("Book")) for i in range(3)]
+        )
+        assert book_db.statistics.distinct(pattern, 0) == before + 3
+
+    def test_sqlite_engine_reloads_on_mutation(self, book_db):
+        from repro.engine import SQLiteEngine
+
+        x = Variable("x")
+        query = BGPQuery([x], [Triple(x, RDF_TYPE, ex("Book"))])
+        with SQLiteEngine(book_db) as engine:
+            before = engine.evaluate(query)
+            book_db.load_facts([Triple(ex("doi8"), RDF_TYPE, ex("Book"))])
+            after = engine.evaluate(query)
+            assert ex("doi8") in {row[0] for row in after}
+            assert len(after) == len(before) + 1

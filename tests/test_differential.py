@@ -1,0 +1,77 @@
+"""Cross-strategy differential sweeps (see tests/oracle.py).
+
+Every answering strategy must produce identical answers — over the
+bundled LUBM and DBLP workloads and over seeded random BGPs, with the
+query cache cold and warm.  The fast lane sweeps the workloads and a
+small random batch; the full random sweep is the ``slow`` (nightly)
+lane.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from oracle import (
+    DEFAULT_STRATEGIES,
+    differential_check,
+    make_answerer,
+    random_queries,
+)
+from repro.cache import QueryCache
+from repro.datasets import dblp_workload, lubm_workload
+
+#: Workload entries (name, query) resolved lazily per module.
+_LUBM = [(entry.name, entry.query) for entry in lubm_workload()]
+_DBLP = [(entry.name, entry.query) for entry in dblp_workload()]
+
+
+@pytest.fixture(scope="module")
+def lubm_answerer(lubm_db):
+    return make_answerer(lubm_db, cache=QueryCache())
+
+
+@pytest.fixture(scope="module")
+def dblp_answerer(dblp_db):
+    return make_answerer(dblp_db, cache=QueryCache())
+
+
+class TestWorkloadSweeps:
+    @pytest.mark.parametrize("name,query", _LUBM, ids=[n for n, _ in _LUBM])
+    def test_lubm_strategies_agree_cold_and_warm(self, lubm_answerer, name, query):
+        cold = differential_check(lubm_answerer, query, label=f"lubm/{name}")
+        warm = differential_check(lubm_answerer, query, label=f"lubm/{name}/warm")
+        assert cold == warm, f"lubm/{name}: warm-cache answers changed"
+
+    @pytest.mark.parametrize("name,query", _DBLP, ids=[n for n, _ in _DBLP])
+    def test_dblp_strategies_agree_cold_and_warm(self, dblp_answerer, name, query):
+        cold = differential_check(dblp_answerer, query, label=f"dblp/{name}")
+        warm = differential_check(dblp_answerer, query, label=f"dblp/{name}/warm")
+        assert cold == warm, f"dblp/{name}: warm-cache answers changed"
+
+
+class TestRandomSweeps:
+    def test_random_smoke(self, lubm_db):
+        answerer = make_answerer(lubm_db, cache=QueryCache())
+        for query in random_queries(lubm_db, count=8, seed=42):
+            differential_check(answerer, query, label=query.name)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_full_sweep(self, lubm_db, dblp_db, seed):
+        """The nightly lane: larger seeded batches over both stores."""
+        for db, tag in ((lubm_db, "lubm"), (dblp_db, "dblp")):
+            answerer = make_answerer(db, cache=QueryCache())
+            for query in random_queries(db, count=12, seed=seed):
+                cold = differential_check(
+                    answerer, query, label=f"{tag}/{query.name}"
+                )
+                warm = differential_check(
+                    answerer, query, label=f"{tag}/{query.name}/warm"
+                )
+                assert cold == warm, f"{tag}/{query.name}: warm answers changed"
+
+    def test_random_queries_are_reproducible(self, lubm_db):
+        first = random_queries(lubm_db, count=5, seed=7)
+        second = random_queries(lubm_db, count=5, seed=7)
+        assert [q.canonical() for q in first] == [q.canonical() for q in second]
+        assert DEFAULT_STRATEGIES[0] == "saturation"

@@ -9,6 +9,7 @@ original query over the saturation.
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.cache import LRUCache, MISSING, query_fingerprint
 from repro.engine import NATIVE_HASH, NATIVE_MERGE, NativeEngine, SQLiteEngine
 from repro.optimizer import ecov, gcov
 from repro.cost import CostModel
@@ -128,3 +129,83 @@ def test_optimizers_preserve_answers(case):
     assert engine.evaluate(exhaustive.jucq) == expected
     # ECov is the golden standard: GCov never beats it on estimate.
     assert exhaustive.estimated_cost <= greedy.estimated_cost + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Cache-key invariants (DESIGN.md §9)
+# ----------------------------------------------------------------------
+def _renamed_shuffled(query: BGPQuery, salt: int, order) -> BGPQuery:
+    """An isomorphic copy: fresh variable names, permuted body atoms."""
+    substitution = {v: Variable(f"rn{salt}_{v.value}") for v in query.variables()}
+    renamed = query.substitute(substitution)
+    body = [renamed.body[i] for i in order]
+    head = renamed.head
+    return BGPQuery(head, body, name="shuffled")
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=_case(), salt=st.integers(0, 9), data=st.data())
+def test_fingerprint_invariant_under_isomorphism(case, salt, data):
+    _, _, query = case
+    order = data.draw(st.permutations(range(len(query.body))))
+    clone = _renamed_shuffled(query, salt, order)
+    assert query_fingerprint(query) == query_fingerprint(clone)
+
+
+@settings(max_examples=60, deadline=None)
+@given(first=_case(), second=_case())
+def test_fingerprint_separates_non_isomorphic_queries(first, second):
+    """Distinct canonical forms never share a fingerprint.
+
+    Canonical-form equality is the system's definition of query
+    isomorphism (head-variable names aside); the fingerprint must not
+    collide across genuinely different queries.
+    """
+    q1, q2 = first[2], second[2]
+    from repro.cache.fingerprint import _canonical_head
+
+    if _canonical_head(q1).canonical() != _canonical_head(q2).canonical():
+        assert query_fingerprint(q1) != query_fingerprint(q2)
+    else:
+        assert query_fingerprint(q1) == query_fingerprint(q2)
+
+
+@st.composite
+def _lru_operations(draw):
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(("put", "get")), st.integers(0, 12)),
+            max_size=60,
+        )
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(capacity=st.integers(1, 6), operations=_lru_operations())
+def test_lru_bound_and_eviction_order(capacity, operations):
+    """The LRU never exceeds capacity and always holds the most
+    recently *used* keys — bit-for-bit against a reference model."""
+    cache = LRUCache(capacity)
+    model: dict = {}
+    recency: list = []  # least- to most-recently used
+    for operation, key in operations:
+        if operation == "put":
+            cache.put(key, key * 2)
+            if key in model:
+                recency.remove(key)
+            model[key] = key * 2
+            recency.append(key)
+            if len(model) > capacity:
+                evicted = recency.pop(0)
+                del model[evicted]
+        else:
+            expected = model.get(key, MISSING)
+            assert cache.get(key, MISSING) == expected
+            if expected is not MISSING:
+                recency.remove(key)
+                recency.append(key)
+        assert len(cache) <= capacity
+        assert list(cache.keys()) == recency
+    assert cache.hits + cache.misses == sum(
+        1 for operation, _ in operations if operation == "get"
+    )

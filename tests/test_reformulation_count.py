@@ -49,7 +49,7 @@ class TestReformulatorCount:
         query = motivating_q1().query
         count = reformulator.count(query)
         assert count > 1000
-        assert not reformulator._cache  # nothing was materialized
+        assert not reformulator.cache  # nothing was materialized
 
     def test_count_memoized(self, schema):
         reformulator = Reformulator(schema)
