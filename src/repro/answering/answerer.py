@@ -33,10 +33,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..cache.lru import MISSING
+from ..cache.lru import MISSING, LRUCache
 from ..cache.manager import QueryCache
 from ..cost.model import CostModel
-from ..engine.evaluator import AnswerSet, NativeEngine
+from ..engine.evaluator import AnswerSet, EngineFailure, NativeEngine
 from ..optimizer.ecov import ecov
 from ..optimizer.gcov import gcov
 from ..optimizer.search import SearchInfeasible
@@ -44,6 +44,19 @@ from ..query.algebra import JUCQ, ucq_as_jucq
 from ..query.bgp import BGPQuery
 from ..reformulation.jucq import scq_reformulation
 from ..reformulation.reformulate import ReformulationLimitExceeded, Reformulator
+from ..resilience.budget import ExecutionBudget
+from ..resilience.errors import (
+    RECOVERABLE,
+    AllStrategiesFailed,
+    BudgetExhausted,
+    UnionBudgetExceeded,
+    classify,
+    describe_failures,
+    freeze_exception,
+    is_transient,
+    thaw_exception,
+)
+from ..resilience.fallback import AttemptRecord, CircuitBreaker, FallbackPolicy
 from ..storage.database import RDFDatabase
 from ..telemetry import (
     NULL_TRACER,
@@ -78,6 +91,15 @@ class AnswerReport:
     predicted_cost: Optional[float] = None
     #: Cardinality estimate for the evaluated query, when recorded.
     predicted_cardinality: Optional[float] = None
+    #: The strategy whose answers these actually are.  Equal to
+    #: ``strategy`` for a direct :meth:`QueryAnswerer.answer` call; the
+    #: rung that finally succeeded for a resilient one.
+    strategy_used: Optional[str] = None
+    #: Per-rung attempt records of a resilient call (empty otherwise).
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    #: True when the answer did not come from the first attempt of the
+    #: first-choice strategy (a retry or a fallback happened).
+    degraded: bool = False
 
     @property
     def total_s(self) -> float:
@@ -95,21 +117,32 @@ class AnswerReport:
         return len(self.answers)
 
 
-#: Per-engine-class cache: does ``evaluate`` accept tracer/metrics?
-_TELEMETRY_SUPPORT: Dict[type, bool] = {}
+#: Per-engine-class cache: which keyword arguments ``evaluate`` accepts.
+_ENGINE_ACCEPTS: Dict[type, frozenset] = {}
+
+
+def _engine_accepts(engine) -> frozenset:
+    """The keyword parameters ``engine.evaluate`` takes (cached per class).
+
+    Drives graceful degradation for third-party engines: telemetry is
+    only passed when (``tracer``, ``metrics``) exist, and a budget is
+    passed whole when ``budget`` exists, else collapsed to its
+    remaining time as ``timeout_s``.
+    """
+    kind = type(engine)
+    cached = _ENGINE_ACCEPTS.get(kind)
+    if cached is None:
+        try:
+            cached = frozenset(inspect.signature(engine.evaluate).parameters)
+        except (TypeError, ValueError):
+            cached = frozenset()
+        _ENGINE_ACCEPTS[kind] = cached
+    return cached
 
 
 def _engine_supports_telemetry(engine) -> bool:
-    kind = type(engine)
-    cached = _TELEMETRY_SUPPORT.get(kind)
-    if cached is None:
-        try:
-            parameters = inspect.signature(engine.evaluate).parameters
-            cached = "tracer" in parameters and "metrics" in parameters
-        except (TypeError, ValueError):
-            cached = False
-        _TELEMETRY_SUPPORT[kind] = cached
-    return cached
+    accepted = _engine_accepts(engine)
+    return "tracer" in accepted and "metrics" in accepted
 
 
 class QueryAnswerer:
@@ -125,6 +158,8 @@ class QueryAnswerer:
         tracer=None,
         verify_ir: bool = False,
         cache: Optional[QueryCache] = None,
+        budget: Optional[ExecutionBudget] = None,
+        fallback: Optional[FallbackPolicy] = None,
     ):
         self.database = database
         self.engine = engine if engine is not None else NativeEngine(database)
@@ -152,6 +187,19 @@ class QueryAnswerer:
             engine_sql_cache = getattr(self.engine, "sql_cache", None)
             if engine_sql_cache is not None:
                 cache.register("sql", engine_sql_cache)
+        #: Default :class:`~repro.resilience.ExecutionBudget` template
+        #: applied to calls that pass neither ``budget`` nor
+        #: ``timeout_s`` (each call starts its own copy of the clock).
+        self.budget = budget
+        #: Default :class:`~repro.resilience.FallbackPolicy` for
+        #: :meth:`answer_resilient`; a stock policy when unset.
+        self.fallback = fallback
+        #: Counters for the resilience layer (attempts, retries,
+        #: fallbacks, degradations, breaker activity) — monotone over
+        #: the answerer's lifetime; per-call deltas are folded into each
+        #: resilient report's ``metrics``.
+        self.resilience_metrics = MetricsRecorder()
+        self._breaker: Optional[CircuitBreaker] = None
         self._saturated_engine = None
         self._saturated_key = None
 
@@ -164,6 +212,7 @@ class QueryAnswerer:
         strategy: str = "gcov",
         tracer=None,
         verify_ir: Optional[bool] = None,
+        budget: Optional[ExecutionBudget] = None,
     ):
         """The reformulated query a strategy would evaluate (no execution).
 
@@ -173,14 +222,16 @@ class QueryAnswerer:
         search's exploration trajectory is attached as a ``search``
         record.  ``verify_ir`` overrides the answerer's default; when
         on, the input query and the produced reformulation are checked
-        by the IR verifier (:mod:`repro.analysis`).
+        by the IR verifier (:mod:`repro.analysis`).  A ``budget``
+        threads the shared answer-wide deadline into the cover
+        searches.
         """
         verify = self.verify_ir if verify_ir is None else verify_ir
         if verify:
             from ..analysis.verifier import verify_bgp
 
             verify_bgp(query)
-        planned, search = self._plan_cached(query, strategy, tracer)
+        planned, search = self._plan_cached(query, strategy, tracer, budget)
         if verify:
             from ..analysis.verifier import verify_pipeline
 
@@ -191,7 +242,13 @@ class QueryAnswerer:
             )
         return planned, search
 
-    def _plan_cached(self, query: BGPQuery, strategy: str, tracer=None):
+    def _plan_cached(
+        self,
+        query: BGPQuery,
+        strategy: str,
+        tracer=None,
+        budget: Optional[ExecutionBudget] = None,
+    ):
         """Plan-cache wrapper around :meth:`_plan` (DESIGN.md §9).
 
         Entries are keyed by (query fingerprint, strategy, schema
@@ -199,27 +256,49 @@ class QueryAnswerer:
         a fresh key and stale plans are never served.  Planning
         *failures* (reformulation-limit overruns, infeasible cover
         searches) are memoized too and re-raised on warm hits, so a
-        query that cannot be planned fails fast on every retry.  The
-        ``saturation`` strategy plans to the query itself, so there is
-        nothing worth caching.
+        query that cannot be planned fails fast on every retry — stored
+        *frozen* as ``(type, args)``, never as the live exception object
+        (whose ``__traceback__`` would pin every active frame in the LRU
+        for the entry's lifetime), and thawed into a fresh instance per
+        hit.  The ``saturation`` strategy plans to the query itself, so
+        there is nothing worth caching; and nothing is *stored* when a
+        deadline budget was active, because the budget is not part of
+        the key — a plan truncated (or a failure caused) by one caller's
+        nearly-spent clock must not be served to the next caller.
         """
         if self.cache is None or strategy == "saturation":
-            return self._plan(query, strategy, tracer)
+            return self._plan(query, strategy, tracer, budget)
         entry = self.cache.get_plan(self.database, query, strategy)
         if entry is not MISSING:
             outcome, payload = entry
             if outcome == "error":
-                raise payload
+                raise thaw_exception(payload)
             return payload
+        deadline_active = budget is not None and budget.timeout_s is not None
         try:
-            planned, search = self._plan(query, strategy, tracer)
+            planned, search = self._plan(query, strategy, tracer, budget)
         except (ReformulationLimitExceeded, SearchInfeasible) as error:
-            self.cache.put_plan(self.database, query, strategy, ("error", error))
+            if not deadline_active:
+                self.cache.put_plan(
+                    self.database,
+                    query,
+                    strategy,
+                    ("error", freeze_exception(error)),
+                )
             raise
-        self.cache.put_plan(self.database, query, strategy, ("ok", (planned, search)))
+        if not deadline_active:
+            self.cache.put_plan(
+                self.database, query, strategy, ("ok", (planned, search))
+            )
         return planned, search
 
-    def _plan(self, query: BGPQuery, strategy: str = "gcov", tracer=None):
+    def _plan(
+        self,
+        query: BGPQuery,
+        strategy: str = "gcov",
+        tracer=None,
+        budget: Optional[ExecutionBudget] = None,
+    ):
         tracer = self.tracer if tracer is None else tracer
         if strategy == "ucq":
             with tracer.span("reformulate", strategy=strategy) as span:
@@ -256,6 +335,7 @@ class QueryAnswerer:
                         self.cost_model.cost,
                         max_covers=self.ecov_max_covers,
                         trace=search_trace,
+                        budget=budget,
                     )
                 else:
                     result = gcov(
@@ -263,6 +343,7 @@ class QueryAnswerer:
                         self.reformulator,
                         self.cost_model.cost,
                         trace=search_trace,
+                        budget=budget,
                     )
                 span.set(
                     covers_explored=result.covers_explored,
@@ -295,6 +376,7 @@ class QueryAnswerer:
         tracer=None,
         record_accuracy: Optional[bool] = None,
         verify_ir: Optional[bool] = None,
+        budget: Optional[ExecutionBudget] = None,
     ) -> AnswerReport:
         """Answer ``query`` under ``strategy``; see :class:`AnswerReport`.
 
@@ -306,18 +388,35 @@ class QueryAnswerer:
         default; when on, every compilation stage — input query, cover,
         JUCQ, compiled plan tree, generated SQL — is asserted by the IR
         verifier before evaluation starts.
+
+        Limits: an explicit ``budget``
+        (:class:`~repro.resilience.ExecutionBudget`) wins; a bare
+        ``timeout_s`` becomes a deadline-only budget; otherwise the
+        answerer's default budget applies.  One started budget threads
+        the *same* deadline through planning (cover searches) and
+        evaluation, and its union/row caps tighten the engine profile's
+        own limits.  Failures keep their raw types
+        (:class:`~repro.engine.evaluator.EngineTimeout`,
+        :class:`~repro.engine.evaluator.EngineFailure`, planning
+        errors); classification and recovery live in
+        :meth:`answer_resilient`.
         """
         tracer = self.tracer if tracer is None else tracer
         verify = self.verify_ir if verify_ir is None else verify_ir
         if record_accuracy is None:
             record_accuracy = tracer.enabled
+        budget = ExecutionBudget.resolve(budget, timeout_s)
+        if budget is None:
+            budget = self.budget
+        if budget is not None:
+            budget = budget.start()
         metrics = MetricsRecorder()
         counters_before = None if self.cache is None else self.cache.counters()
         with tracer.span("answer", query=query.name, strategy=strategy) as root:
             start = time.perf_counter()
             with tracer.span("plan", strategy=strategy):
                 planned, search = self.plan(
-                    query, strategy, tracer=tracer, verify_ir=False
+                    query, strategy, tracer=tracer, verify_ir=False, budget=budget
                 )
             if verify:
                 from ..analysis.verifier import verify_pipeline
@@ -329,18 +428,47 @@ class QueryAnswerer:
                         cover=None if search is None else search.cover,
                         database=self.database,
                     )
+            if (
+                budget is not None
+                and budget.max_union_terms is not None
+                and strategy != "saturation"
+            ):
+                planned_terms = planned.total_union_terms()
+                if planned_terms > budget.max_union_terms:
+                    raise UnionBudgetExceeded(
+                        f"{strategy} reformulation of {query.name} has "
+                        f"{planned_terms} union terms, over the budget's "
+                        f"max_union_terms={budget.max_union_terms}"
+                    )
             optimization_s = time.perf_counter() - start
             engine = self._engine_for(strategy)
             start = time.perf_counter()
             with tracer.span(
                 "evaluate", engine=getattr(engine, "name", type(engine).__name__)
             ) as eval_span:
-                if _engine_supports_telemetry(engine):
-                    answers = engine.evaluate(
-                        planned, timeout_s=timeout_s, tracer=tracer, metrics=metrics
-                    )
+                accepted = _engine_accepts(engine)
+                kwargs: Dict[str, Any] = {}
+                if "tracer" in accepted and "metrics" in accepted:
+                    kwargs.update(tracer=tracer, metrics=metrics)
+                if budget is not None and "budget" in accepted:
+                    kwargs["budget"] = budget
                 else:
-                    answers = engine.evaluate(planned, timeout_s=timeout_s)
+                    # Legacy engines: collapse the budget to its
+                    # remaining clock, enforce the row cap below.
+                    kwargs["timeout_s"] = (
+                        timeout_s if budget is None else budget.remaining_s()
+                    )
+                answers = engine.evaluate(planned, **kwargs)
+                if (
+                    budget is not None
+                    and "budget" not in accepted
+                    and budget.max_result_rows is not None
+                    and len(answers) > budget.max_result_rows
+                ):
+                    raise EngineFailure(
+                        f"result of {len(answers)} rows exceeds the budget's "
+                        f"max_result_rows={budget.max_result_rows}"
+                    )
                 eval_span.set(answers=len(answers))
             evaluation_s = time.perf_counter() - start
             root.set(answers=len(answers))
@@ -374,7 +502,176 @@ class QueryAnswerer:
             accuracy=accuracy.records,
             predicted_cost=predicted_cost,
             predicted_cardinality=predicted_rows,
+            strategy_used=strategy,
         )
+
+    def answer_resilient(
+        self,
+        query: BGPQuery,
+        strategy: Optional[str] = None,
+        policy: Optional[FallbackPolicy] = None,
+        budget: Optional[ExecutionBudget] = None,
+        timeout_s: Optional[float] = None,
+        tracer=None,
+        record_accuracy: Optional[bool] = None,
+        verify_ir: Optional[bool] = None,
+    ) -> AnswerReport:
+        """:meth:`answer` behind the strategy-fallback ladder.
+
+        Walks ``policy.ladder`` starting from ``strategy`` (default: the
+        ladder's head).  Per rung: the circuit breaker may skip it
+        outright; a *transient* fault (chaos-injected blips standing in
+        for real-world hiccups) is retried up to ``policy.max_retries``
+        times with exponential backoff; a *permanent* fault moves to the
+        next rung.  All attempts drain the one shared ``budget``.
+
+        The returned report is the succeeding rung's, annotated with
+        ``strategy_used``, the full ``attempts`` trail and ``degraded``
+        (True unless the first rung succeeded on its first try); the
+        call's resilience counter deltas are folded into its
+        ``metrics``.  Raises
+        :class:`~repro.resilience.BudgetExhausted` when the clock runs
+        out between attempts and
+        :class:`~repro.resilience.AllStrategiesFailed` when the ladder
+        is exhausted, both carrying the attempt records.  Non-pipeline
+        errors (programming bugs, IR verification failures) propagate
+        immediately.
+        """
+        policy = policy if policy is not None else self.fallback
+        if policy is None:
+            policy = FallbackPolicy()
+        breaker = policy.breaker if policy.breaker is not None else self._default_breaker()
+        tracer = self.tracer if tracer is None else tracer
+        budget = ExecutionBudget.resolve(budget, timeout_s)
+        if budget is None:
+            budget = self.budget
+        if budget is not None:
+            budget = budget.start()
+        ladder = policy.strategies_for(strategy)
+        requested = ladder[0]
+        attempts: List[AttemptRecord] = []
+        rmetrics = self.resilience_metrics
+        counters_before = dict(rmetrics.counters)
+        with tracer.span(
+            "fallback", query=query.name, ladder=",".join(ladder)
+        ) as span:
+            for rung_index, rung in enumerate(ladder):
+                key = breaker.key(query, rung)
+                if not breaker.allow(key):
+                    attempts.append(
+                        AttemptRecord(
+                            rung,
+                            "skipped",
+                            error_type="CircuitOpen",
+                            error=f"circuit open for ({query.name}, {rung})",
+                            classification="permanent",
+                        )
+                    )
+                    rmetrics.inc("resilience.breaker.skipped")
+                    continue
+                retry = 0
+                while True:
+                    if budget is not None and budget.expired:
+                        rmetrics.inc("resilience.budget_exhausted")
+                        raise BudgetExhausted(
+                            f"budget exhausted answering {query.name} after "
+                            f"{len(attempts)} attempts "
+                            f"({describe_failures(attempts)})",
+                            attempts=attempts,
+                        )
+                    started = time.perf_counter()
+                    rmetrics.inc("resilience.attempts")
+                    try:
+                        report = self.answer(
+                            query,
+                            strategy=rung,
+                            tracer=tracer,
+                            record_accuracy=record_accuracy,
+                            verify_ir=verify_ir,
+                            budget=budget,
+                        )
+                    except RECOVERABLE as error:
+                        elapsed = time.perf_counter() - started
+                        transient = is_transient(error)
+                        attempts.append(
+                            AttemptRecord(
+                                rung,
+                                "error",
+                                error_type=type(error).__name__,
+                                error=str(error),
+                                classification=classify(error),
+                                retry=retry,
+                                elapsed_s=elapsed,
+                            )
+                        )
+                        rmetrics.inc(f"resilience.faults.{classify(error)}")
+                        breaker.record_failure(key, transient)
+                        if (
+                            transient
+                            and retry < policy.max_retries
+                            and not (budget is not None and budget.expired)
+                        ):
+                            retry += 1
+                            rmetrics.inc("resilience.retries")
+                            backoff = policy.backoff(retry)
+                            if backoff > 0:
+                                policy.sleep(backoff)
+                            continue
+                        break  # permanent (or retries spent): next rung
+                    else:
+                        breaker.record_success(key)
+                        attempts.append(
+                            AttemptRecord(
+                                rung,
+                                "ok",
+                                retry=retry,
+                                elapsed_s=time.perf_counter() - started,
+                            )
+                        )
+                        degraded = rung != requested or len(attempts) > 1
+                        if degraded:
+                            rmetrics.inc("resilience.degraded")
+                        if rung_index > 0:
+                            rmetrics.inc("resilience.fallbacks")
+                        report.strategy = requested
+                        report.strategy_used = rung
+                        report.attempts = attempts
+                        report.degraded = degraded
+                        delta = {
+                            name: value - counters_before.get(name, 0)
+                            for name, value in rmetrics.counters.items()
+                            if value - counters_before.get(name, 0)
+                        }
+                        if delta:
+                            report.metrics.setdefault("counters", {}).update(delta)
+                        span.set(
+                            strategy_used=rung,
+                            attempts=len(attempts),
+                            degraded=degraded,
+                        )
+                        return report
+        rmetrics.inc("resilience.exhausted")
+        raise AllStrategiesFailed(
+            f"all {len(ladder)} strategies failed for {query.name}: "
+            f"{describe_failures(attempts)}",
+            attempts=attempts,
+        )
+
+    def _default_breaker(self) -> CircuitBreaker:
+        """The answerer-owned circuit breaker, created on first use.
+
+        Its state store is a plain :class:`~repro.cache.lru.LRUCache`;
+        when the answerer has a :class:`~repro.cache.manager.QueryCache`
+        the store is registered as its ``breaker`` level, so breaker
+        entries show up in cache stats and are dropped by
+        ``QueryCache.clear()`` like every other derived artifact.
+        """
+        if self._breaker is None:
+            storage = LRUCache(512)
+            if self.cache is not None:
+                self.cache.register("breaker", storage)
+            self._breaker = CircuitBreaker(storage=storage)
+        return self._breaker
 
     def _record_accuracy(
         self,
@@ -426,9 +723,16 @@ class QueryAnswerer:
         current = (self.database.schema.fingerprint(), self.database.epoch)
         if self._saturated_engine is None or self._saturated_key != current:
             saturated_db = self.database.saturated()
-            self._saturated_engine = type(self.engine)(
-                saturated_db, *self._engine_extra_args()
-            )
+            factory = getattr(self.engine, "for_database", None)
+            if factory is not None:
+                # The engine protocol's way to derive a sibling over
+                # another store — decorators (chaos) decide here whether
+                # the derived engine is wrapped.
+                self._saturated_engine = factory(saturated_db)
+            else:
+                self._saturated_engine = type(self.engine)(
+                    saturated_db, *self._engine_extra_args()
+                )
             self._saturated_key = current
         return self._saturated_engine
 

@@ -32,6 +32,15 @@ Commands
     dictionary: rule-coded diagnostics (DESIGN.md §8), non-zero exit on
     any error-severity finding, ``--format json`` for machines.
 
+``chaos``
+    Run a workload through seeded fault injection (DESIGN.md §10) with
+    the strategy-fallback ladder on, and compare every answer set
+    against a clean saturation baseline; exits 3 on any mismatch.
+
+Failures map to distinct exit codes instead of tracebacks: 2 usage /
+IR verification, 3 chaos mismatch, 4 timeout, 5 engine failure,
+6 planning infeasible, 7 resilience exhausted.
+
 Examples::
 
     python -m repro generate lubm --universities 2 -o campus.nt
@@ -41,6 +50,8 @@ Examples::
     python -m repro profile campus.nt -q "..." --strategy gcov --trace out.jsonl
     python -m repro lint campus.nt -q "..." --format json
     python -m repro lint campus.nt --workload lubm
+    python -m repro query campus.nt -q "..." --fallback --timeout 5
+    python -m repro chaos campus.nt --workload lubm --seeds 0,1,2
 """
 
 from __future__ import annotations
@@ -57,12 +68,28 @@ from .analysis.lint import lint_query, lint_text
 from .answering import STRATEGIES, QueryAnswerer
 from .cache import QueryCache
 from .datasets import DBLPGenerator, DBLPProfile, LUBMGenerator, dblp_schema, lubm_schema
-from .engine import NativeEngine, SQLiteEngine, to_sql
+from .engine import EngineFailure, EngineTimeout, NativeEngine, SQLiteEngine, to_sql
+from .optimizer import SearchInfeasible
 from .query import parse_query
 from .rdf import read_ntriples, write_ntriples
 from .reformulation import Reformulator
+from .reformulation.reformulate import ReformulationLimitExceeded
+from .resilience import (
+    ChaosConfig,
+    ChaosEngine,
+    ExecutionBudget,
+    FallbackPolicy,
+    ResilienceError,
+)
 from .storage import RDFDatabase
 from .telemetry import Tracer
+
+#: Exit codes for mapped failures (see module docstring).
+EXIT_CHAOS_MISMATCH = 3
+EXIT_TIMEOUT = 4
+EXIT_ENGINE_FAILURE = 5
+EXIT_PLANNING = 6
+EXIT_RESILIENCE = 7
 
 #: SQLite's compile-time compound-select limit: the strictest statement
 #: limit among the engines, used as the lint's default for rule L109.
@@ -99,6 +126,54 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="enable the multi-level query cache (DESIGN.md §9); "
         "cache counters appear in the metrics output",
+    )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fallback",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="answer through the strategy-fallback ladder "
+        "(gcov -> scq -> pruned-ucq -> saturation; DESIGN.md §10)",
+    )
+    parser.add_argument(
+        "--budget-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap intermediate and result relations at N rows",
+    )
+    parser.add_argument(
+        "--max-union-terms",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject reformulations over N total union terms",
+    )
+
+
+def _budget_from_args(args: argparse.Namespace) -> Optional[ExecutionBudget]:
+    """The :class:`ExecutionBudget` the flags describe (None = unlimited)."""
+    budget = ExecutionBudget(
+        timeout_s=getattr(args, "timeout", None),
+        max_union_terms=getattr(args, "max_union_terms", None),
+        max_intermediate_rows=getattr(args, "budget_rows", None),
+        max_result_rows=getattr(args, "budget_rows", None),
+    )
+    return None if budget.unlimited else budget
+
+
+def _print_resilience_summary(report) -> None:
+    """The one-line degradation record of a resilient answer."""
+    trail = " -> ".join(
+        f"{attempt.strategy}:{attempt.outcome}" for attempt in report.attempts
+    )
+    print(
+        f"# resilience: strategy_used={report.strategy_used} "
+        f"attempts={len(report.attempts)} degraded={report.degraded}"
+        + (f" | {trail}" if trail else ""),
+        file=sys.stderr,
     )
 
 
@@ -186,12 +261,18 @@ def cmd_query(args: argparse.Namespace) -> int:
     cache = QueryCache() if args.cache else None
     answerer = _answerer(database, args.engine, verify_ir=args.verify_ir, cache=cache)
     _print_lint_findings(lint_query(query, database=database))
+    budget = _budget_from_args(args)
     repeat = max(1, args.repeat)
     try:
         for iteration in range(repeat):
-            report = answerer.answer(
-                query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
-            )
+            if args.fallback:
+                report = answerer.answer_resilient(
+                    query, strategy=args.strategy, budget=budget, tracer=tracer
+                )
+            else:
+                report = answerer.answer(
+                    query, strategy=args.strategy, budget=budget, tracer=tracer
+                )
             if repeat > 1:
                 print(
                     f"# run {iteration + 1}/{repeat}: "
@@ -216,6 +297,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         f"| total={report.total_s * 1000:.1f}ms (total excludes parse)",
         file=sys.stderr,
     )
+    if args.fallback:
+        _print_resilience_summary(report)
     if cache is not None:
         for level, stats in cache.stats().items():
             print(
@@ -266,10 +349,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
         cache=QueryCache() if args.cache else None,
     )
     _print_lint_findings(lint_query(query, database=database))
+    budget = _budget_from_args(args)
     try:
-        report = answerer.answer(
-            query, strategy=args.strategy, timeout_s=args.timeout, tracer=tracer
-        )
+        if args.fallback:
+            report = answerer.answer_resilient(
+                query, strategy=args.strategy, budget=budget, tracer=tracer
+            )
+        else:
+            report = answerer.answer(
+                query, strategy=args.strategy, budget=budget, tracer=tracer
+            )
     except IRVerificationError as error:
         _print_verification_failure(error)
         return 2
@@ -278,6 +367,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"| strategy={report.strategy} | engine={args.engine} "
         f"| union terms={report.reformulation_terms}"
     )
+    if args.fallback:
+        _print_resilience_summary(report)
     print("\n== spans ==")
     for root in tracer.roots:
         _print_span(root)
@@ -502,6 +593,108 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro chaos``: differential fault-injection run.
+
+    For every seed in the matrix, wraps the evaluation engine in a
+    :class:`~repro.resilience.ChaosEngine` and answers the workload
+    through :meth:`~repro.answering.QueryAnswerer.answer_resilient`,
+    comparing each answer set against a clean saturation baseline.
+    Injection only ever hits non-saturation rungs (derived saturation
+    engines stay unwrapped), so the ladder must recover — any mismatch
+    or unrecovered query is reported and exits
+    :data:`EXIT_CHAOS_MISMATCH`.
+    """
+    database = _load_database(args.data)
+    declarations = "".join(
+        f"PREFIX {declaration.partition('=')[0]}: "
+        f"<{declaration.partition('=')[2]}> "
+        for declaration in args.prefix
+    )
+    queries = [
+        (f"q{index + 1}", parse_query(declarations + text))
+        for index, text in enumerate(args.query or [])
+    ]
+    if args.workload:
+        from .datasets import dblp_workload, lubm_workload
+
+        entries = lubm_workload() if args.workload == "lubm" else dblp_workload()
+        queries.extend((entry.name, entry.query) for entry in entries)
+    if not queries:
+        print("chaos needs at least one -q QUERY or --workload", file=sys.stderr)
+        return 2
+    try:
+        seeds = [int(seed) for seed in args.seeds.split(",") if seed.strip()]
+    except ValueError:
+        print(f"bad --seeds {args.seeds!r}; expected e.g. 0,1,2", file=sys.stderr)
+        return 2
+
+    # Clean saturation baselines, computed once and shared by each seed.
+    baseline_answerer = _answerer(database, args.engine)
+    baseline_answerer.reformulator.limit = args.limit
+    baselines = {
+        name: baseline_answerer.answer(query, strategy="saturation").answers
+        for name, query in queries
+    }
+
+    policy = FallbackPolicy(max_retries=args.max_retries, sleep=lambda _s: None)
+    mismatches = []
+    unrecovered = []
+    total_faults = total_degraded = total_answers = 0
+    for seed in seeds:
+        config = ChaosConfig(
+            seed=seed,
+            timeout_rate=args.timeout_rate,
+            failure_rate=args.failure_rate,
+            slow_rate=args.slow_rate,
+            transient=args.transient,
+        )
+        engine = (
+            SQLiteEngine(database)
+            if args.engine == "sqlite"
+            else NativeEngine(database)
+        )
+        chaos = ChaosEngine(engine, config)
+        chaos.sleeper = lambda _s: None
+        answerer = QueryAnswerer(database, engine=chaos, fallback=policy)
+        answerer.reformulator.limit = args.limit
+        degraded = 0
+        for name, query in queries:
+            try:
+                report = answerer.answer_resilient(query, strategy=args.strategy)
+            except ResilienceError as error:
+                unrecovered.append((seed, name, f"{type(error).__name__}: {error}"))
+                continue
+            total_answers += 1
+            if report.degraded:
+                degraded += 1
+            if report.answers != baselines[name]:
+                mismatches.append((seed, name, report.strategy_used))
+        total_degraded += degraded
+        total_faults += chaos.faults_injected
+        print(
+            f"seed {seed}: {len(queries)} queries | "
+            f"faults injected={chaos.faults_injected} "
+            f"(timeout={chaos.counts['timeout']} "
+            f"failure={chaos.counts['failure']} slow={chaos.counts['slow']}) "
+            f"| degraded={degraded}"
+        )
+    print(
+        f"\n{len(seeds)} seeds x {len(queries)} queries: "
+        f"{total_answers} answered, {total_faults} faults injected, "
+        f"{total_degraded} degraded, {len(mismatches)} mismatches, "
+        f"{len(unrecovered)} unrecovered"
+    )
+    for seed, name, used in mismatches:
+        print(
+            f"MISMATCH seed={seed} query={name} strategy_used={used}",
+            file=sys.stderr,
+        )
+    for seed, name, error in unrecovered:
+        print(f"UNRECOVERED seed={seed} query={name}: {error}", file=sys.stderr)
+    return EXIT_CHAOS_MISMATCH if mismatches or unrecovered else 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """``repro stats``: summarize a dataset."""
     database = _load_database(args.data)
@@ -549,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = commands.add_parser("query", help="answer a query over a dataset")
     _add_query_arguments(query)
+    _add_resilience_arguments(query)
     query.add_argument("--timeout", type=float, default=None, help="seconds")
     query.add_argument(
         "--trace", metavar="FILE", help="export a JSON-lines telemetry trace"
@@ -571,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="answer a query with full telemetry output"
     )
     _add_query_arguments(profile)
+    _add_resilience_arguments(profile)
     profile.add_argument("--timeout", type=float, default=None, help="seconds")
     profile.add_argument(
         "--trace", metavar="FILE", help="export a JSON-lines telemetry trace"
@@ -659,13 +854,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip queries whose reformulation exceeds this many union terms",
     )
     cache_stats.set_defaults(handler=cmd_cache_stats)
+
+    chaos = commands.add_parser(
+        "chaos", help="differential fault-injection run (DESIGN.md §10)"
+    )
+    chaos.add_argument("data", help="N-Triples file (constraints + facts)")
+    chaos.add_argument(
+        "-q", "--query", action="append", default=[], help="SPARQL BGP text (repeatable)"
+    )
+    chaos.add_argument(
+        "--prefix",
+        action="append",
+        default=[],
+        metavar="NAME=IRI",
+        help="extra prefix declaration (repeatable)",
+    )
+    chaos.add_argument(
+        "--workload",
+        choices=("lubm", "dblp"),
+        help="answer a bundled benchmark workload",
+    )
+    chaos.add_argument(
+        "--strategy", choices=STRATEGIES, default="gcov", help="first-choice strategy"
+    )
+    chaos.add_argument(
+        "--engine",
+        choices=("native", "sqlite"),
+        default="native",
+        help="evaluation engine (the saturation baseline stays clean)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        default="0,1,2",
+        metavar="S0,S1,...",
+        help="comma-separated chaos seed matrix (default 0,1,2)",
+    )
+    chaos.add_argument(
+        "--timeout-rate", type=float, default=0.3, help="injected-timeout probability"
+    )
+    chaos.add_argument(
+        "--failure-rate", type=float, default=0.3, help="injected-failure probability"
+    )
+    chaos.add_argument(
+        "--slow-rate", type=float, default=0.2, help="slow-operator probability"
+    )
+    chaos.add_argument(
+        "--transient",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="injected faults classify transient (retry path) "
+        "or permanent (straight-to-fallback path)",
+    )
+    chaos.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="transient retries per ladder rung",
+    )
+    chaos.add_argument(
+        "--limit",
+        type=int,
+        default=20_000,
+        metavar="TERMS",
+        help="reformulation term limit (overruns degrade down the ladder)",
+    )
+    chaos.set_defaults(handler=cmd_chaos)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Maps every pipeline failure to a one-line stderr message and a
+    distinct exit code (module docstring) — no command leaks a raw
+    traceback for an expected failure mode.
+    """
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except EngineTimeout as error:
+        print(f"repro: timeout: {error}", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except ResilienceError as error:
+        print(f"repro: resilience: {error}", file=sys.stderr)
+        return EXIT_RESILIENCE
+    except EngineFailure as error:
+        print(f"repro: engine failure: {error}", file=sys.stderr)
+        return EXIT_ENGINE_FAILURE
+    except (ReformulationLimitExceeded, SearchInfeasible) as error:
+        print(f"repro: planning failed: {error}", file=sys.stderr)
+        return EXIT_PLANNING
 
 
 if __name__ == "__main__":

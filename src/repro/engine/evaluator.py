@@ -43,7 +43,15 @@ AnswerSet = FrozenSet[Tuple[Term, ...]]
 
 
 class EngineFailure(RuntimeError):
-    """The engine could not evaluate the query (limit hit or backend error)."""
+    """The engine could not evaluate the query (limit hit or backend error).
+
+    ``transient`` feeds the resilience layer's classification
+    (:mod:`repro.resilience.errors`): native engine failures are
+    deterministic, so the class default is False; chaos-injected
+    subclasses override it.
+    """
+
+    transient = False
 
 
 class EngineTimeout(EngineFailure):
@@ -88,14 +96,50 @@ NATIVE_MERGE = EngineProfile(name="native-merge", join_algorithm="merge",
 
 
 class _Deadline:
-    """Cooperative timeout checked between operator steps."""
+    """Cooperative budget checkpoint between operator steps.
 
-    def __init__(self, seconds: Optional[float]):
-        self.expires_at = None if seconds is None else time.perf_counter() + seconds
+    Wraps either a bare ``timeout_s`` (the legacy API) or an
+    :class:`repro.resilience.ExecutionBudget`-shaped object (duck-typed
+    so this hot-path module depends on nothing above it): something
+    with ``start()``, ``expired``, ``row_limit(engine_limit)``,
+    ``union_limit(engine_limit)`` and ``max_result_rows``.  When both
+    are given, the shared budget wins — that is the whole point of a
+    budget.
+    """
+
+    __slots__ = ("expires_at", "budget")
+
+    def __init__(self, seconds: Optional[float] = None, budget=None):
+        if budget is not None:
+            self.budget = budget.start()
+            self.expires_at = None
+        else:
+            self.budget = None
+            self.expires_at = (
+                None if seconds is None else time.perf_counter() + seconds
+            )
 
     def check(self) -> None:
         if self.expires_at is not None and time.perf_counter() > self.expires_at:
             raise EngineTimeout("query evaluation timed out")
+        if self.budget is not None and self.budget.expired:
+            raise EngineTimeout("query evaluation exceeded its budget deadline")
+
+    def row_limit(self, engine_limit: int) -> int:
+        """Effective intermediate-row cap: min(profile, budget)."""
+        if self.budget is None:
+            return engine_limit
+        return self.budget.row_limit(engine_limit)
+
+    def union_limit(self, engine_limit: int) -> int:
+        """Effective compound-union cap: min(profile, budget)."""
+        if self.budget is None:
+            return engine_limit
+        return self.budget.union_limit(engine_limit)
+
+    @property
+    def max_result_rows(self) -> Optional[int]:
+        return None if self.budget is None else self.budget.max_result_rows
 
 
 class NativeEngine:
@@ -110,6 +154,15 @@ class NativeEngine:
         """The engine personality's name (used in reports)."""
         return self.profile.name
 
+    def for_database(self, database: RDFDatabase) -> "NativeEngine":
+        """A sibling engine (same personality) over another store.
+
+        The answerer uses this to build the engine for the derived
+        saturated database; wrappers (e.g. the chaos engine) override
+        it to control whether the clone inherits their behaviour.
+        """
+        return type(self)(database, self.profile)
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -119,10 +172,12 @@ class NativeEngine:
         timeout_s: Optional[float] = None,
         tracer=None,
         metrics: Optional[MetricsRecorder] = None,
+        budget=None,
     ) -> AnswerSet:
         """Evaluate and decode: a set of tuples of RDF terms."""
         relation = self.evaluate_relation(
-            query, timeout_s=timeout_s, tracer=tracer, metrics=metrics
+            query, timeout_s=timeout_s, tracer=tracer, metrics=metrics,
+            budget=budget,
         )
         decode = self.database.dictionary.decode
         return frozenset(tuple(decode(v) for v in row) for row in relation.to_tuples())
@@ -133,10 +188,16 @@ class NativeEngine:
         timeout_s: Optional[float] = None,
         tracer=None,
         metrics: Optional[MetricsRecorder] = None,
+        budget=None,
     ) -> Relation:
-        """Evaluate to an encoded relation (one column per head position)."""
+        """Evaluate to an encoded relation (one column per head position).
+
+        ``budget`` is an :class:`repro.resilience.ExecutionBudget`
+        (shared deadline plus row/term caps tightened against the
+        profile's own limits); when given, ``timeout_s`` is ignored.
+        """
         tracer = NULL_TRACER if tracer is None else tracer
-        deadline = _Deadline(timeout_s)
+        deadline = _Deadline(timeout_s, budget)
         if isinstance(query, BGPQuery):
             joined = self._eval_cq(
                 query, deadline, _positional_names(query.head), metrics
@@ -144,14 +205,21 @@ class NativeEngine:
             with tracer.span("dedup", rows_in=len(joined)) as span:
                 result = distinct(joined, metrics)
                 span.set(rows_out=len(result))
-            return result
-        if isinstance(query, UCQ):
-            return self._eval_ucq(
+        elif isinstance(query, UCQ):
+            result = self._eval_ucq(
                 query, deadline, _positional_names(query.head), tracer, metrics
             )
-        if isinstance(query, JUCQ):
-            return self._eval_jucq(query, deadline, tracer, metrics)
-        raise TypeError(f"cannot evaluate {type(query).__name__}")
+        elif isinstance(query, JUCQ):
+            result = self._eval_jucq(query, deadline, tracer, metrics)
+        else:
+            raise TypeError(f"cannot evaluate {type(query).__name__}")
+        result_cap = deadline.max_result_rows
+        if result_cap is not None and len(result) > result_cap:
+            raise EngineFailure(
+                f"result of {len(result)} rows exceeds the budget's "
+                f"max_result_rows={result_cap}"
+            )
+        return result
 
     def count(self, query, timeout_s: Optional[float] = None) -> int:
         """Number of distinct answers."""
@@ -251,6 +319,7 @@ class NativeEngine:
             # Schema-resolved constant conjunct: one row of head constants.
             values = [dictionary.encode(t) for t in cq.head]
             return Relation.single_row(out_names, values)
+        row_cap = deadline.row_limit(self.profile.max_intermediate_rows)
         order = self._join_order(cq)
         current: Optional[Relation] = None
         for atom_index in order:
@@ -266,10 +335,10 @@ class NativeEngine:
                     current = cross_product(current, scanned, metrics)
                 if metrics is not None:
                     metrics.inc("materialized.intermediate_rows", len(current))
-            if len(current) > self.profile.max_intermediate_rows:
+            if len(current) > row_cap:
                 raise EngineFailure(
                     f"intermediate result of {len(current)} rows exceeds "
-                    f"{self.profile.name}'s limit"
+                    f"the limit of {row_cap} ({self.profile.name})"
                 )
             if len(current) == 0:
                 # Unsatisfiable conjunct; later atoms' columns would be
@@ -320,16 +389,17 @@ class NativeEngine:
         tracer=NULL_TRACER,
         metrics: Optional[MetricsRecorder] = None,
     ) -> Relation:
-        if len(ucq) > self.profile.max_union_terms:
+        union_cap = deadline.union_limit(self.profile.max_union_terms)
+        if len(ucq) > union_cap:
             raise EngineFailure(
-                f"{len(ucq)} union terms exceed {self.profile.name}'s compound "
-                f"statement limit of {self.profile.max_union_terms}"
+                f"{len(ucq)} union terms exceed the compound statement "
+                f"limit of {union_cap} ({self.profile.name})"
             )
         with tracer.span("union", terms=len(ucq)) as span:
             parts = [self._eval_cq(cq, deadline, out_names, metrics) for cq in ucq]
             combined = union_all(parts, out_names, metrics)
             span.set(rows=len(combined))
-        if len(combined) > self.profile.max_intermediate_rows:
+        if len(combined) > deadline.row_limit(self.profile.max_intermediate_rows):
             raise EngineFailure(
                 f"union result of {len(combined)} rows exceeds "
                 f"{self.profile.name}'s limit"
@@ -350,6 +420,7 @@ class NativeEngine:
         tracer=NULL_TRACER,
         metrics: Optional[MetricsRecorder] = None,
     ) -> Relation:
+        row_cap = deadline.row_limit(self.profile.max_intermediate_rows)
         operands: List[Relation] = []
         for index, ucq in enumerate(jucq):
             names = _variable_names(ucq.head)
@@ -381,10 +452,10 @@ class NativeEngine:
                 current = cross_product(current, other, metrics)
             if metrics is not None:
                 metrics.inc("materialized.intermediate_rows", len(current))
-            if len(current) > self.profile.max_intermediate_rows:
+            if len(current) > row_cap:
                 raise EngineFailure(
                     f"join intermediate of {len(current)} rows exceeds "
-                    f"{self.profile.name}'s limit"
+                    f"the limit of {row_cap} ({self.profile.name})"
                 )
         # Final projection to the JUCQ head.
         n = len(current)

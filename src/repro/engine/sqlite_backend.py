@@ -46,9 +46,17 @@ class SQLiteEngine:
         #: was unknown compiles to an unsatisfiable conjunct — and lookup
         #: results can only change when the dictionary grows.
         self.sql_cache: LRUCache = LRUCache(sql_capacity)
+        #: VM instructions between deadline checks of the cooperative
+        #: progress handler.  Tests shrink it so timeouts fire even on
+        #: statements too small to ever reach the production interval.
+        self.progress_interval = 100_000
         self._load()
 
     name = "sqlite"
+
+    def for_database(self, database: RDFDatabase) -> "SQLiteEngine":
+        """A sibling engine over another store (same SQL-cache bound)."""
+        return type(self)(database, sql_capacity=self.sql_cache.capacity)
 
     def _load(self) -> None:
         cursor = self.connection.cursor()
@@ -89,12 +97,15 @@ class SQLiteEngine:
         timeout_s: Optional[float] = None,
         tracer=None,
         metrics: Optional[MetricsRecorder] = None,
+        budget=None,
     ) -> AnswerSet:
         """Evaluate and decode answers (a set of tuples of RDF terms).
 
         SQLite's internal operators are opaque, so telemetry records the
         SQL boundary instead: compile/execute spans, statement size, and
-        fetched-row counters.
+        fetched-row counters.  A ``budget``
+        (:class:`repro.resilience.ExecutionBudget`) supersedes
+        ``timeout_s`` and additionally caps the fetched result size.
         """
         tracer = NULL_TRACER if tracer is None else tracer
         self._refresh()
@@ -103,12 +114,18 @@ class SQLiteEngine:
             sql = self._compile(query)
             span.set(sql_chars=len(sql), cached=self.sql_cache.hits > hits_before)
         with tracer.span("sqlite.execute", sql_chars=len(sql)) as span:
-            rows = self.execute_sql(sql, timeout_s)
+            rows = self.execute_sql(sql, timeout_s, budget=budget)
             span.set(rows=len(rows))
         if metrics is not None:
             metrics.inc("sqlite.statements")
             metrics.inc("sqlite.sql_chars", len(sql))
             metrics.inc("sqlite.rows_fetched", len(rows))
+        result_cap = None if budget is None else budget.max_result_rows
+        if result_cap is not None and len(rows) > result_cap:
+            raise EngineFailure(
+                f"result of {len(rows)} rows exceeds the budget's "
+                f"max_result_rows={result_cap}"
+            )
         if getattr(query, "arity", None) == 0:
             # Boolean query: the SQL emits a marker column instead of an
             # (invalid) empty select list.
@@ -122,15 +139,24 @@ class SQLiteEngine:
         rows = self.execute_sql(self._compile(query), timeout_s)
         return len(rows)
 
-    def execute_sql(self, sql: str, timeout_s: Optional[float] = None):
-        """Run SQL text; engine errors become :class:`EngineFailure`."""
-        if timeout_s is not None:
+    def execute_sql(self, sql: str, timeout_s: Optional[float] = None, budget=None):
+        """Run SQL text; engine errors become :class:`EngineFailure`.
+
+        The deadline — the budget's shared one when given, else a fresh
+        ``timeout_s`` one — is enforced cooperatively: the progress
+        handler runs every :attr:`progress_interval` VM instructions
+        and a non-zero return cancels the running statement.
+        """
+        if budget is not None:
+            budget = budget.start()
+            check = (lambda: 1 if budget.expired else 0) if budget.timeout_s is not None else None
+        elif timeout_s is not None:
             deadline = time.perf_counter() + timeout_s
-            # Abort long statements cooperatively: a non-zero handler
-            # return cancels the running statement.
-            self.connection.set_progress_handler(
-                lambda: 1 if time.perf_counter() > deadline else 0, 100_000
-            )
+            check = lambda: 1 if time.perf_counter() > deadline else 0  # noqa: E731
+        else:
+            check = None
+        if check is not None:
+            self.connection.set_progress_handler(check, self.progress_interval)
         try:
             cursor = self.connection.execute(sql)
             return cursor.fetchall()
@@ -141,7 +167,7 @@ class SQLiteEngine:
         except sqlite3.Error as error:
             raise EngineFailure(f"SQLite failed: {error}") from error
         finally:
-            if timeout_s is not None:
+            if check is not None:
                 self.connection.set_progress_handler(None, 0)
 
     def explain(self, query) -> str:

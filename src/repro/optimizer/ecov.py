@@ -19,7 +19,14 @@ from typing import Optional
 from ..query.bgp import BGPQuery
 from ..reformulation.covers import enumerate_covers
 from ..reformulation.reformulate import Reformulator
-from .search import CostFunction, CoverScorer, CoverSearchResult, SearchInfeasible, Stopwatch
+from .search import (
+    CostFunction,
+    CoverScorer,
+    CoverSearchResult,
+    SearchInfeasible,
+    Stopwatch,
+    effective_timeout,
+)
 
 
 def ecov(
@@ -29,13 +36,18 @@ def ecov(
     max_covers: Optional[int] = 100_000,
     timeout_s: Optional[float] = None,
     trace: Optional[list] = None,
+    budget=None,
 ) -> CoverSearchResult:
     """Exhaustive search for the cheapest cover-based reformulation.
 
     Pass a list as ``trace`` to receive ``(cover, cost)`` pairs in
     enumeration order (same contract as :func:`repro.optimizer.gcov`'s
     trace), from which telemetry derives the best-cost trajectory.
+    ``budget`` tightens the timeout to a shared answer-wide deadline;
+    unlike GCov, an exhausted ECov clock is :class:`SearchInfeasible`
+    (the exhaustive search cannot vouch for a partial scan).
     """
+    timeout_s = effective_timeout(timeout_s, budget)
     scorer = CoverScorer(query, reformulator, cost_function)
     watch = Stopwatch()
     best_cover = None

@@ -32,7 +32,13 @@ from typing import List, Optional, Set, Tuple
 from ..query.bgp import BGPQuery
 from ..reformulation.covers import Cover, Fragment
 from ..reformulation.reformulate import Reformulator
-from .search import CostFunction, CoverScorer, CoverSearchResult, Stopwatch
+from .search import (
+    CostFunction,
+    CoverScorer,
+    CoverSearchResult,
+    Stopwatch,
+    effective_timeout,
+)
 
 
 def _initial_cover(query: BGPQuery) -> Cover:
@@ -102,6 +108,7 @@ def gcov(
     timeout_s: Optional[float] = None,
     stop_ratio: Optional[float] = None,
     trace: Optional[list] = None,
+    budget=None,
 ) -> CoverSearchResult:
     """Greedy anytime search for a low-cost cover (Algorithm 1).
 
@@ -112,11 +119,16 @@ def gcov(
     elapsed"; when any budget trips, the best cover found so far is
     returned (anytime behaviour).  ``stop_ratio=0.1`` stops once the
     best cost is ≤ 10% of the initial (SCQ-shaped) cover's cost.
+    ``budget`` (an :class:`repro.resilience.ExecutionBudget`) tightens
+    the timeout to the answer-wide deadline's remaining time — GCov is
+    the anytime rung of the fallback ladder, so running out of clock
+    degrades the cover choice, never the answer.
 
     Pass a list as ``trace`` to receive the ``(cover, cost)`` pairs in
     the order they were costed — the exploration the paper's Figure 7
     counts.
     """
+    timeout_s = effective_timeout(timeout_s, budget)
     watch = Stopwatch()
     scorer = CoverScorer(query, reformulator, cost_function)
 

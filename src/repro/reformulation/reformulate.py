@@ -65,6 +65,13 @@ class ReformulationLimitExceeded(RuntimeError):
         super().__init__(f"reformulation exceeded {limit} union terms")
         self.limit = limit
 
+    def __reduce__(self):
+        # The default would replay ``args`` (the formatted message) into
+        # ``__init__(limit)``; reconstruct from the real limit so the
+        # exception survives freeze/thaw (plan-cache failure memoization)
+        # and pickling.
+        return (type(self), (self.limit,))
+
 
 class Reformulator:
     """Reusable CQ → UCQ reformulation engine bound to one schema.

@@ -1,0 +1,73 @@
+"""Resilience subsystem: budgets, fallback ladder, fault injection.
+
+DESIGN.md §10.  Three pieces:
+
+* :mod:`.budget` — :class:`ExecutionBudget`, one limit object (shared
+  wall-clock deadline, union-term and row caps) threaded through the
+  answerer, both engines and the optimizer searches;
+* :mod:`.errors` + :mod:`.fallback` — the structured
+  transient/permanent failure taxonomy, :class:`FallbackPolicy` (the
+  ``gcov → scq → pruned-ucq → saturation`` degradation ladder with
+  bounded retry/backoff) and the per-(query, strategy)
+  :class:`CircuitBreaker`;
+* :mod:`.chaos` — :class:`ChaosEngine`, seeded deterministic injection
+  of timeouts, mid-evaluation failures and slow operators, so every
+  degradation path runs in CI.
+"""
+
+from .budget import ExecutionBudget
+from .chaos import ChaosConfig, ChaosEngine, InjectedFailure, InjectedTimeout
+from .errors import (
+    PERMANENT,
+    RECOVERABLE,
+    TRANSIENT,
+    AllStrategiesFailed,
+    BudgetExhausted,
+    EvaluationFault,
+    EvaluationTimeout,
+    PermanentFault,
+    PlanningFault,
+    ResilienceError,
+    TransientFault,
+    UnionBudgetExceeded,
+    classify,
+    freeze_exception,
+    is_transient,
+    thaw_exception,
+    wrap_failure,
+)
+from .fallback import (
+    DEFAULT_LADDER,
+    AttemptRecord,
+    CircuitBreaker,
+    FallbackPolicy,
+)
+
+__all__ = [
+    "AllStrategiesFailed",
+    "AttemptRecord",
+    "BudgetExhausted",
+    "ChaosConfig",
+    "ChaosEngine",
+    "CircuitBreaker",
+    "DEFAULT_LADDER",
+    "EvaluationFault",
+    "EvaluationTimeout",
+    "ExecutionBudget",
+    "FallbackPolicy",
+    "InjectedFailure",
+    "InjectedTimeout",
+    "PERMANENT",
+    "PermanentFault",
+    "PlanningFault",
+    "RECOVERABLE",
+    "ResilienceError",
+    "TRANSIENT",
+    "TransientFault",
+    "UnionBudgetExceeded",
+    "classify",
+    "freeze_exception",
+    "is_transient",
+    "thaw_exception",
+    "wrap_failure",
+]

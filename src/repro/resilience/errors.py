@@ -1,0 +1,219 @@
+"""Structured failure taxonomy for the answering pipeline.
+
+Every way an answer can fail — reformulations past a term budget,
+infeasible cover searches, engine statement/row limits, timeouts,
+injected chaos faults — maps into one :class:`ResilienceError` shape
+with a ``transient``/``permanent`` classification:
+
+* **transient** faults (a dropped connection, an injected chaos blip)
+  may succeed if the *same* strategy is simply retried;
+* **permanent** faults (a 300k-term UCQ rejected by the statement
+  limit, an exhausted search budget) will deterministically recur, so
+  the only recovery is *falling back* to a different strategy.
+
+The raw exception types keep flowing through the direct
+:meth:`~repro.answering.QueryAnswerer.answer` API unchanged (callers
+catch :class:`~repro.engine.evaluator.EngineFailure` exactly as
+before); wrapping happens at the fallback layer, which needs the
+uniform classification to drive its retry ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, Type
+
+from ..engine.evaluator import EngineFailure, EngineTimeout
+from ..optimizer.search import SearchInfeasible
+from ..reformulation.reformulate import ReformulationLimitExceeded
+
+#: The classification labels used across reports and telemetry.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+class ResilienceError(RuntimeError):
+    """Base of the structured failure hierarchy.
+
+    ``transient`` is a class default that instances may override (an
+    injected timeout is transient; a deterministic one is not).
+    """
+
+    transient: bool = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        strategy: Optional[str] = None,
+        phase: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        #: The answering strategy that was running, when known.
+        self.strategy = strategy
+        #: ``"plan"`` or ``"evaluate"``, when known.
+        self.phase = phase
+
+    @property
+    def classification(self) -> str:
+        return TRANSIENT if self.transient else PERMANENT
+
+
+class TransientFault(ResilienceError):
+    """A fault that may not recur on retry."""
+
+    transient = True
+
+
+class PermanentFault(ResilienceError):
+    """A fault that will deterministically recur for this strategy."""
+
+    transient = False
+
+
+class PlanningFault(PermanentFault):
+    """Planning failed: term-limit overrun or infeasible cover search."""
+
+
+class EvaluationFault(ResilienceError):
+    """The engine rejected or aborted the evaluation."""
+
+
+class EvaluationTimeout(EvaluationFault):
+    """The engine ran past the deadline."""
+
+
+class UnionBudgetExceeded(EngineFailure):
+    """The reformulation is larger than the caller's union-term budget.
+
+    Subclasses :class:`~repro.engine.evaluator.EngineFailure` so every
+    pre-existing ``except EngineFailure`` path (benchmark harnesses,
+    the differential oracle) treats it as the statement-limit rejection
+    it models.
+    """
+
+    transient = False
+
+
+class BudgetExhausted(PermanentFault):
+    """The shared execution budget ran out before an attempt succeeded."""
+
+    def __init__(self, message: str, attempts: Optional[list] = None) -> None:
+        super().__init__(message)
+        #: The attempt records accumulated before exhaustion.
+        self.attempts = attempts or []
+
+
+class AllStrategiesFailed(PermanentFault):
+    """Every rung of the fallback ladder failed (or was skipped)."""
+
+    def __init__(self, message: str, attempts: Optional[list] = None) -> None:
+        super().__init__(message)
+        #: The per-attempt records explaining each rung's failure.
+        self.attempts = attempts or []
+
+
+# ----------------------------------------------------------------------
+# Classification and wrapping of raw pipeline exceptions
+# ----------------------------------------------------------------------
+#: Exception types the fallback ladder recovers from.  Anything else
+#: (programming errors, IR verification failures) propagates untouched.
+RECOVERABLE = (EngineFailure, ReformulationLimitExceeded, SearchInfeasible)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether retrying the same strategy could plausibly succeed.
+
+    The pipeline itself is deterministic, so only faults explicitly
+    marked transient — chaos-injected blips standing in for real-world
+    network/lock hiccups — classify as retryable; every native limit
+    overrun, timeout and search failure is permanent.
+    """
+    return bool(getattr(error, "transient", False))
+
+
+def classify(error: BaseException) -> str:
+    """``"transient"`` or ``"permanent"`` for any pipeline exception."""
+    return TRANSIENT if is_transient(error) else PERMANENT
+
+
+def wrap_failure(
+    error: BaseException,
+    strategy: Optional[str] = None,
+    phase: Optional[str] = None,
+) -> ResilienceError:
+    """The :class:`ResilienceError` view of a raw pipeline exception.
+
+    The wrapper chains the original via ``__cause__`` and copies its
+    transient flag, so ``raise wrap_failure(e) from e`` preserves both
+    the traceback story and the classification.
+    """
+    if isinstance(error, ResilienceError):
+        return error
+    message = f"{type(error).__name__}: {error}"
+    if isinstance(error, (ReformulationLimitExceeded, SearchInfeasible)):
+        wrapped: ResilienceError = PlanningFault(
+            message, strategy=strategy, phase=phase or "plan"
+        )
+    elif isinstance(error, EngineTimeout):
+        wrapped = EvaluationTimeout(
+            message, strategy=strategy, phase=phase or "evaluate"
+        )
+    elif isinstance(error, EngineFailure):
+        wrapped = EvaluationFault(
+            message, strategy=strategy, phase=phase or "evaluate"
+        )
+    else:
+        wrapped = PermanentFault(message, strategy=strategy, phase=phase)
+    wrapped.transient = is_transient(error)
+    wrapped.__cause__ = error
+    return wrapped
+
+
+# ----------------------------------------------------------------------
+# Cache-safe exception storage
+# ----------------------------------------------------------------------
+def freeze_exception(error: BaseException) -> Tuple[Type[BaseException], Tuple[Any, ...]]:
+    """A storable ``(type, args)`` form of an exception.
+
+    Caches must never hold *live* exception objects: a raised-and-caught
+    exception carries ``__traceback__``, which pins every frame (and
+    everything those frames reference) for as long as the cache entry
+    lives.  Freezing keeps only the constructor recipe.  Exceptions
+    whose ``__init__`` signature differs from ``args`` (e.g.
+    :class:`ReformulationLimitExceeded`) must override ``__reduce__``.
+    """
+    reduced = error.__reduce__()
+    if isinstance(reduced, tuple) and len(reduced) >= 2:
+        factory, args = reduced[0], reduced[1]
+        if isinstance(factory, type) and isinstance(args, tuple):
+            return factory, args
+    return type(error), error.args
+
+
+def thaw_exception(
+    frozen: Tuple[Type[BaseException], Tuple[Any, ...]],
+) -> BaseException:
+    """A fresh instance from :func:`freeze_exception` output.
+
+    Falls back to a plain :class:`RuntimeError` if the stored type
+    cannot be reconstructed (so a cache hit can never crash the hit
+    path itself).
+    """
+    exc_type, args = frozen
+    try:
+        return exc_type(*args)
+    except Exception:  # pragma: no cover - defensive
+        return RuntimeError(f"{exc_type.__name__}{args!r}")
+
+
+def describe_failures(attempts: List[Any]) -> str:
+    """One-line summary of attempt records for error messages."""
+    parts = []
+    for attempt in attempts:
+        outcome = getattr(attempt, "outcome", "?")
+        strategy = getattr(attempt, "strategy", "?")
+        error_type = getattr(attempt, "error_type", None)
+        parts.append(
+            f"{strategy}={error_type or outcome}"
+        )
+    return ", ".join(parts) if parts else "no attempts"

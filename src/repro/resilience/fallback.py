@@ -1,0 +1,205 @@
+"""The strategy-fallback ladder: policy, attempt records, circuit breaker.
+
+The paper's Section 5 failure modes are strategy-shaped: a UCQ
+reformulation that one engine rejects outright often runs fine as an
+SCQ or JUCQ, and *saturation* — evaluating the original query over the
+pre-saturated store — always works when the store fits.  The default
+ladder therefore degrades from the recommended strategy toward the
+bulletproof baseline::
+
+    gcov → scq → pruned-ucq → saturation
+
+:class:`FallbackPolicy` is pure configuration (ladder, bounded retry
+with exponential backoff for transient faults); the orchestration loop
+lives in :meth:`repro.answering.QueryAnswerer.answer_resilient`.
+
+:class:`CircuitBreaker` remembers, per (query-fingerprint, strategy),
+how often a rung has failed, and *opens* past a threshold so repeated
+monster queries skip known-hopeless rungs without re-paying the failure
+(the fail-fast companion to the plan cache's failure memoization, and
+stored on the same :class:`~repro.cache.lru.LRUCache` machinery so the
+``breaker`` level shows up in cache stats and is dropped by
+``QueryCache.clear()``).  An open circuit lets one probe through after
+``cooldown_s`` (half-open); a probe success closes it again.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..cache.fingerprint import query_fingerprint
+from ..cache.lru import LRUCache
+
+#: The default degradation ladder (most optimized → most robust).
+DEFAULT_LADDER: Tuple[str, ...] = ("gcov", "scq", "pruned-ucq", "saturation")
+
+#: Breaker states (reported by :meth:`CircuitBreaker.state`).
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+
+@dataclass
+class AttemptRecord:
+    """One rung execution (or skip) inside a resilient answer."""
+
+    strategy: str
+    outcome: str  # "ok" | "error" | "skipped"
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    classification: Optional[str] = None
+    retry: int = 0
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (CLI output, telemetry export)."""
+        return {
+            "strategy": self.strategy,
+            "outcome": self.outcome,
+            "error_type": self.error_type,
+            "error": self.error,
+            "classification": self.classification,
+            "retry": self.retry,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+class _BreakerState:
+    """Mutable per-key breaker bookkeeping (stored in the LRU)."""
+
+    __slots__ = ("failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Per-(query-fingerprint, strategy) failure circuit.
+
+    ``failure_threshold`` consecutive failures open the circuit;
+    while open, :meth:`allow` answers False (the ladder skips the rung
+    instantly).  After ``cooldown_s`` one probe is let through
+    (half-open); its success closes the circuit, its failure re-opens
+    it for another cooldown.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        storage: Optional[LRUCache] = None,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.storage = storage if storage is not None else LRUCache(512)
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        #: Monotone counters (folded into resilience telemetry).
+        self.opened = 0
+        self.skipped = 0
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(query, strategy: str) -> Tuple[str, str]:
+        """The circuit identity: (query fingerprint, strategy)."""
+        return (query_fingerprint(query), strategy)
+
+    def _state(self, key, create: bool = False) -> Optional[_BreakerState]:
+        state = self.storage.peek(key)
+        if state is None and create:
+            state = _BreakerState()
+            self.storage.put(key, state)
+        return state
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def allow(self, key) -> bool:
+        """Whether the ladder may attempt this rung now.
+
+        Counts a skip when it answers False; flips an elapsed-cooldown
+        circuit to half-open and lets the single probe through.
+        """
+        state = self._state(key)
+        if state is None or state.opened_at is None:
+            return True
+        if self.clock() - state.opened_at >= self.cooldown_s:
+            state.probing = True
+            return True
+        self.skipped += 1
+        return False
+
+    def record_failure(self, key, transient: bool) -> None:
+        """Count a failure; open the circuit past the threshold.
+
+        A failed half-open probe re-opens immediately regardless of the
+        threshold — the circuit already proved unhealthy once.
+        """
+        state = self._state(key, create=True)
+        state.failures += 1
+        reopened_probe = state.probing
+        state.probing = False
+        if reopened_probe or state.failures >= self.failure_threshold:
+            if state.opened_at is None or reopened_probe:
+                self.opened += 1
+            state.opened_at = self.clock()
+
+    def record_success(self, key) -> None:
+        """Close the circuit (probe succeeded or rung is healthy)."""
+        state = self._state(key)
+        if state is not None:
+            state.failures = 0
+            state.opened_at = None
+            state.probing = False
+
+    def state(self, key) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"`` for reporting."""
+        state = self._state(key)
+        if state is None or state.opened_at is None:
+            return CLOSED
+        if self.clock() - state.opened_at >= self.cooldown_s:
+            return HALF_OPEN
+        return OPEN
+
+
+@dataclass
+class FallbackPolicy:
+    """Configuration of the retry-and-degrade ladder.
+
+    ``max_retries`` bounds *extra* tries of one rung after a transient
+    fault (permanent faults skip straight to the next rung —
+    deterministic failures never repay a retry).  Backoff grows
+    exponentially from ``backoff_s`` and is capped by
+    ``max_backoff_s``; ``sleep`` is injectable so tests and the chaos
+    CLI run without real waiting.
+    """
+
+    ladder: Tuple[str, ...] = DEFAULT_LADDER
+    max_retries: int = 1
+    backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 1.0
+    breaker: Optional[CircuitBreaker] = None
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def strategies_for(self, first: Optional[str] = None) -> Tuple[str, ...]:
+        """The rungs to walk: the requested strategy first, then the
+        ladder (minus the duplicate)."""
+        if first is None:
+            return self.ladder
+        return (first,) + tuple(s for s in self.ladder if s != first)
+
+    def backoff(self, retry: int) -> float:
+        """Seconds to wait before transient retry number ``retry`` (1-based)."""
+        if self.backoff_s <= 0:
+            return 0.0
+        return min(
+            self.backoff_s * self.backoff_multiplier ** max(0, retry - 1),
+            self.max_backoff_s,
+        )

@@ -17,13 +17,14 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence
 
-from repro.answering import QueryAnswerer
+from repro.answering import AnswerReport, QueryAnswerer
 from repro.cache import QueryCache
-from repro.engine import EngineFailure
+from repro.engine import EngineFailure, NativeEngine
 from repro.optimizer import SearchInfeasible
 from repro.query import BGPQuery
 from repro.rdf import RDF_TYPE, Triple, Variable
 from repro.reformulation import ReformulationLimitExceeded, Reformulator
+from repro.resilience import ChaosConfig, ChaosEngine, FallbackPolicy
 from repro.storage import RDFDatabase
 
 #: Strategies a sweep exercises by default; ``saturation`` is the
@@ -95,6 +96,67 @@ def differential_check(
             f"({len(answers)} vs {len(reference)} answers)"
         )
     return results
+
+
+# ----------------------------------------------------------------------
+# Chaos-enabled oracle
+# ----------------------------------------------------------------------
+def make_chaos_answerer(
+    database: RDFDatabase,
+    seed: int = 0,
+    timeout_rate: float = 0.3,
+    failure_rate: float = 0.3,
+    slow_rate: float = 0.0,
+    transient: bool = True,
+    term_budget: int = DEFAULT_TERM_BUDGET,
+    engine=None,
+) -> QueryAnswerer:
+    """An answerer whose engine injects seeded faults.
+
+    The fallback policy never actually sleeps, and neither do injected
+    slowdowns, so chaos sweeps stay fast and deterministic.
+    """
+    chaos = ChaosEngine(
+        engine or NativeEngine(database),
+        ChaosConfig(
+            seed=seed,
+            timeout_rate=timeout_rate,
+            failure_rate=failure_rate,
+            slow_rate=slow_rate,
+            transient=transient,
+        ),
+    )
+    chaos.sleeper = lambda _s: None
+    return QueryAnswerer(
+        database,
+        engine=chaos,
+        reformulator=Reformulator(database.schema, limit=term_budget),
+        fallback=FallbackPolicy(sleep=lambda _s: None),
+    )
+
+
+def chaos_differential_check(
+    chaos_answerer: QueryAnswerer,
+    baseline_answers: frozenset,
+    query: BGPQuery,
+    label: str = "",
+) -> AnswerReport:
+    """Assert a chaos-wrapped resilient answer matches the clean baseline.
+
+    This is the zero-silent-partial-answers invariant: whatever faults
+    were injected, the ladder either recovers the exact saturation
+    answer set or raises — a degraded-but-wrong result is a failure.
+    """
+    context = label or getattr(query, "name", "query")
+    report = chaos_answerer.answer_resilient(query)
+    assert report.attempts and report.attempts[-1].outcome == "ok", (
+        f"{context}: resilient answer did not end in a successful attempt"
+    )
+    assert report.answers == baseline_answers, (
+        f"{context}: chaos answers diverged from the saturation baseline "
+        f"({len(report.answers)} vs {len(baseline_answers)} answers)"
+    )
+    return report
 
 
 # ----------------------------------------------------------------------

@@ -13,8 +13,10 @@ import pytest
 
 from oracle import (
     DEFAULT_STRATEGIES,
+    chaos_differential_check,
     differential_check,
     make_answerer,
+    make_chaos_answerer,
     random_queries,
 )
 from repro.cache import QueryCache
@@ -75,3 +77,47 @@ class TestRandomSweeps:
         second = random_queries(lubm_db, count=5, seed=7)
         assert [q.canonical() for q in first] == [q.canonical() for q in second]
         assert DEFAULT_STRATEGIES[0] == "saturation"
+
+
+class TestChaosSweeps:
+    """The chaos-enabled oracle lane (DESIGN.md §10).
+
+    A fault-injecting engine sits under the resilient answering path;
+    the fallback ladder must still recover the exact saturation answer
+    set for every query — degraded is fine, wrong is not.
+    """
+
+    def test_lubm_chaos_fallback_matches_saturation(self, lubm_db):
+        clean = make_answerer(lubm_db)
+        # Rates of 0.5 guarantee injections early in seed 0's stream
+        # (at 0.3, the first eight draws happen to stay clean).
+        chaotic = make_chaos_answerer(
+            lubm_db, seed=0, timeout_rate=0.5, failure_rate=0.5
+        )
+        for name, query in _LUBM[:8]:
+            baseline = clean.answer(query, strategy="saturation").answers
+            chaos_differential_check(chaotic, baseline, query, label=f"lubm/{name}")
+        assert chaotic.engine.faults_injected > 0, (
+            "the chaos sweep must actually have injected faults"
+        )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chaos_full_sweep(self, lubm_db, dblp_db, seed):
+        """The nightly lane: a seed matrix over both full workloads,
+        mixing transient (retryable) and permanent fault campaigns."""
+        for db, entries, tag in ((lubm_db, _LUBM, "lubm"), (dblp_db, _DBLP, "dblp")):
+            clean = make_answerer(db)
+            baselines = {
+                name: clean.answer(query, strategy="saturation").answers
+                for name, query in entries
+            }
+            for transient in (True, False):
+                chaotic = make_chaos_answerer(db, seed=seed, transient=transient)
+                for name, query in entries:
+                    chaos_differential_check(
+                        chaotic,
+                        baselines[name],
+                        query,
+                        label=f"{tag}/{name}/seed{seed}/transient={transient}",
+                    )
