@@ -183,6 +183,24 @@ def answerer(dataset: str, engine_name: str) -> QueryAnswerer:
 
 
 @lru_cache(maxsize=None)
+def parallel_answerer(dataset: str, engine_name: str, workers: int) -> QueryAnswerer:
+    """A QueryAnswerer whose evaluations run on a shared worker pool.
+
+    Shares the serial answerer's cost model and reformulator so that a
+    serial-vs-parallel comparison differs *only* in the evaluation
+    path (DESIGN.md §11).
+    """
+    return QueryAnswerer(
+        database(dataset),
+        engine=engine(dataset, engine_name),
+        cost_model=cost_model(dataset, engine_name),
+        reformulator=reformulator(dataset),
+        ecov_max_covers=20_000,
+        workers=workers,
+    )
+
+
+@lru_cache(maxsize=None)
 def cached_answerer(dataset: str, engine_name: str) -> QueryAnswerer:
     """A QueryAnswerer with the multi-level query cache enabled.
 
@@ -273,6 +291,7 @@ def measure(
     trace: bool = False,
     verify_ir: bool = False,
     cache: bool = False,
+    workers: Optional[int] = None,
 ) -> Measurement:
     """Answer one query under one strategy/engine, with missing-bar semantics.
 
@@ -285,14 +304,24 @@ def measure(
     ``cache=True`` the measurement goes through the cache-enabled
     answerer (:func:`cached_answerer`): repeated measurements of the
     same (query, strategy) are then warm, and the per-call cache
-    counters appear under ``metrics``.
+    counters appear under ``metrics``.  A non-``None`` ``workers``
+    routes evaluation through :func:`parallel_answerer`'s shared worker
+    pool (mutually exclusive with ``cache`` — the cached answerer keeps
+    its self-contained accounting serial).
     """
     from repro.optimizer import SearchInfeasible
     from repro.reformulation import ReformulationLimitExceeded
 
     timeout_s = EVAL_TIMEOUT_S if timeout_s is None else timeout_s
     tracer = Tracer() if trace else None
-    qa = cached_answerer(dataset, engine_name) if cache else answerer(dataset, engine_name)
+    if workers is not None:
+        if cache:
+            raise ValueError("measure(): pass either cache=True or workers=, not both")
+        qa = parallel_answerer(dataset, engine_name, workers)
+    elif cache:
+        qa = cached_answerer(dataset, engine_name)
+    else:
+        qa = answerer(dataset, engine_name)
     try:
         report = qa.answer(
             entry.query,
@@ -339,6 +368,7 @@ def run_grid(
     trace: bool = False,
     verify_ir: bool = False,
     cache: bool = False,
+    workers: Optional[int] = None,
 ) -> List[Measurement]:
     """The full (query × strategy × engine) grid of one figure."""
     results = []
@@ -355,6 +385,7 @@ def run_grid(
                         trace,
                         verify_ir,
                         cache,
+                        workers,
                     )
                 )
     return results

@@ -1,0 +1,162 @@
+"""Parallel JUCQ evaluation — serial vs worker-pool wall-clock.
+
+Not a paper figure: this bench quantifies the worker pool of DESIGN.md
+§11.  The same LUBM workload subset is answered serially and with the
+pool (default 4 workers); both runs share one warmed reformulator and
+cost model (through :func:`_harness.parallel_answerer`), so the only
+difference is the evaluation path.  The headline number is the
+serial/parallel evaluation-time ratio per engine.
+
+Speedup requires physical cores: SQLite and numpy release the GIL
+while evaluating, so each extra core evaluates another union-term
+batch — but on a 1-CPU host the two runs are (at best) tied and the
+honest report says so.  ``--check`` instead asserts parallel ≡ serial
+answer sets across the grid, which holds on any core count and is what
+the CI sanity job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import pytest
+
+import _harness as H
+
+DATASET = "lubm-small"
+ENGINES = ("sqlite", "native-hash")
+STRATEGY = "gcov"
+DEFAULT_WORKERS = 4
+#: Workload subset kept clear of the monster reformulations (q2/Q28).
+QUERY_SUBSET = ("q1", "Q01", "Q04", "Q05", "Q09", "Q15", "Q18", "Q19")
+
+
+def _entries():
+    return [e for e in H.workload(DATASET) if e.name in QUERY_SUBSET]
+
+
+def _pass(engine_name: str, workers) -> float:
+    """Answer the subset once; returns total evaluation seconds."""
+    if workers is None:
+        answerer = H.answerer(DATASET, engine_name)
+    else:
+        answerer = H.parallel_answerer(DATASET, engine_name, workers)
+    evaluate_s = 0.0
+    for entry in _entries():
+        report = answerer.answer(entry.query, strategy=STRATEGY)
+        evaluate_s += report.evaluation_s
+    return evaluate_s
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+@pytest.mark.parametrize("workers", (None, DEFAULT_WORKERS))
+def test_bench_parallel(benchmark, engine_name, workers):
+    _pass(engine_name, workers)  # warm plans, connections, SQL cache
+    evaluate_s = benchmark.pedantic(
+        lambda: _pass(engine_name, workers), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"evaluate_s": evaluate_s, "workers": workers or 1}
+    )
+
+
+def _check(workers: int) -> int:
+    """Assert parallel ≡ serial answers across the grid; count mismatches.
+
+    Cells where the *serial* engine fails on its own limits (SQLite's
+    500-term compound SELECT) are skipped: splitting the union into
+    batches genuinely lets the parallel path evaluate reformulations
+    the single-statement path cannot, so there is no serial answer set
+    to compare against.  A parallel-only failure is a real mismatch.
+    """
+    from repro.engine import EngineFailure
+
+    mismatches = skipped = compared = 0
+    for engine_name in ENGINES:
+        serial = H.answerer(DATASET, engine_name)
+        parallel = H.parallel_answerer(DATASET, engine_name, workers)
+        for entry in _entries():
+            for strategy in ("ucq", "scq", "gcov", "saturation"):
+                try:
+                    expected = serial.answer(entry.query, strategy=strategy).answers
+                except EngineFailure:
+                    skipped += 1
+                    continue
+                try:
+                    observed = parallel.answer(
+                        entry.query, strategy=strategy
+                    ).answers
+                except EngineFailure as error:
+                    mismatches += 1
+                    print(
+                        f"MISMATCH {engine_name}/{entry.name}/{strategy}: "
+                        f"serial ok, parallel failed: {error}"
+                    )
+                    continue
+                compared += 1
+                if expected != observed:
+                    mismatches += 1
+                    print(
+                        f"MISMATCH {engine_name}/{entry.name}/{strategy}: "
+                        f"serial={len(expected)} parallel={len(observed)}"
+                    )
+    status = "OK" if mismatches == 0 else "FAILED"
+    print(
+        f"differential check ({DATASET}, {workers} workers): "
+        f"{compared} cells compared, {skipped} skipped "
+        f"(serial engine limit), {mismatches} mismatches: {status}"
+    )
+    return mismatches
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert parallel == serial answers instead of timing",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single timing pass per cell (no best-of-3)",
+    )
+    args = parser.parse_args()
+    if args.check:
+        raise SystemExit(1 if _check(args.workers) else 0)
+
+    rounds = 1 if args.quick else 3
+    cores = os.cpu_count() or 1
+    print(
+        f"Parallel evaluation ({DATASET}, {STRATEGY}, "
+        f"{args.workers} workers, {cores} CPUs)"
+    )
+    if cores < 2:
+        print(
+            "note: single-CPU host — batches cannot physically overlap, "
+            "so expect ~1.0x here; the pool pays off on multi-core hosts"
+        )
+    print(f"{'engine':14}{'serial ms':>12}{'parallel ms':>13}{'speedup':>9}")
+    for engine_name in ENGINES:
+        times = {}
+        for workers in (None, args.workers):
+            _pass(engine_name, workers)  # warm plans, connections, SQL cache
+            best = float("inf")
+            for _ in range(rounds):
+                started = time.perf_counter()
+                _pass(engine_name, workers)
+                best = min(best, time.perf_counter() - started)
+            times[workers] = best
+        serial, parallel = times[None], times[args.workers]
+        speedup = serial / parallel if parallel > 0 else float("inf")
+        print(
+            f"{engine_name:14}{serial * 1000:>12.1f}"
+            f"{parallel * 1000:>13.1f}{speedup:>8.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,7 @@ Strategies
 from __future__ import annotations
 
 import inspect
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -40,6 +41,7 @@ from ..engine.evaluator import AnswerSet, EngineFailure, NativeEngine
 from ..optimizer.ecov import ecov
 from ..optimizer.gcov import gcov
 from ..optimizer.search import SearchInfeasible
+from ..parallel import WorkerPool, evaluate_parallel
 from ..query.algebra import JUCQ, ucq_as_jucq
 from ..query.bgp import BGPQuery
 from ..reformulation.jucq import scq_reformulation
@@ -160,6 +162,8 @@ class QueryAnswerer:
         cache: Optional[QueryCache] = None,
         budget: Optional[ExecutionBudget] = None,
         fallback: Optional[FallbackPolicy] = None,
+        workers: Optional[int] = None,
+        pool: Optional[WorkerPool] = None,
     ):
         self.database = database
         self.engine = engine if engine is not None else NativeEngine(database)
@@ -199,9 +203,26 @@ class QueryAnswerer:
         #: the answerer's lifetime; per-call deltas are folded into each
         #: resilient report's ``metrics``.
         self.resilience_metrics = MetricsRecorder()
+        #: Parallel evaluation (DESIGN.md §11).  An explicit ``pool`` is
+        #: shared, not owned; otherwise ``workers`` sizes an owned pool:
+        #: ``None``/``1`` keep the serial path, ``0`` means one worker
+        #: per CPU, ``N >= 2`` means exactly N workers.
+        if pool is not None:
+            self.pool: Optional[WorkerPool] = pool
+            self._owns_pool = False
+        elif workers is not None and workers != 1:
+            self.pool = WorkerPool(workers if workers else None)
+            self._owns_pool = True
+        else:
+            self.pool = None
+            self._owns_pool = False
         self._breaker: Optional[CircuitBreaker] = None
         self._saturated_engine = None
         self._saturated_key = None
+        #: Guards the lazily-built shared members (saturated engine,
+        #: default breaker) against duplicate construction when
+        #: concurrent callers share one answerer.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Planning
@@ -446,29 +467,45 @@ class QueryAnswerer:
             with tracer.span(
                 "evaluate", engine=getattr(engine, "name", type(engine).__name__)
             ) as eval_span:
-                accepted = _engine_accepts(engine)
-                kwargs: Dict[str, Any] = {}
-                if "tracer" in accepted and "metrics" in accepted:
-                    kwargs.update(tracer=tracer, metrics=metrics)
-                if budget is not None and "budget" in accepted:
-                    kwargs["budget"] = budget
+                if self.pool is not None and isinstance(planned, JUCQ):
+                    # Parallel path (DESIGN.md §11): batches of the
+                    # reformulation spread over the shared worker pool.
+                    # Result caps, cancellation and the exception
+                    # taxonomy all match the serial path.
+                    eval_span.set(parallel=True, workers=self.pool.max_workers)
+                    answers = evaluate_parallel(
+                        engine,
+                        planned,
+                        self.pool,
+                        timeout_s=timeout_s,
+                        tracer=tracer,
+                        metrics=metrics,
+                        budget=budget,
+                    )
                 else:
-                    # Legacy engines: collapse the budget to its
-                    # remaining clock, enforce the row cap below.
-                    kwargs["timeout_s"] = (
-                        timeout_s if budget is None else budget.remaining_s()
-                    )
-                answers = engine.evaluate(planned, **kwargs)
-                if (
-                    budget is not None
-                    and "budget" not in accepted
-                    and budget.max_result_rows is not None
-                    and len(answers) > budget.max_result_rows
-                ):
-                    raise EngineFailure(
-                        f"result of {len(answers)} rows exceeds the budget's "
-                        f"max_result_rows={budget.max_result_rows}"
-                    )
+                    accepted = _engine_accepts(engine)
+                    kwargs: Dict[str, Any] = {}
+                    if "tracer" in accepted and "metrics" in accepted:
+                        kwargs.update(tracer=tracer, metrics=metrics)
+                    if budget is not None and "budget" in accepted:
+                        kwargs["budget"] = budget
+                    else:
+                        # Legacy engines: collapse the budget to its
+                        # remaining clock, enforce the row cap below.
+                        kwargs["timeout_s"] = (
+                            timeout_s if budget is None else budget.remaining_s()
+                        )
+                    answers = engine.evaluate(planned, **kwargs)
+                    if (
+                        budget is not None
+                        and "budget" not in accepted
+                        and budget.max_result_rows is not None
+                        and len(answers) > budget.max_result_rows
+                    ):
+                        raise EngineFailure(
+                            f"result of {len(answers)} rows exceeds the "
+                            f"budget's max_result_rows={budget.max_result_rows}"
+                        )
                 eval_span.set(answers=len(answers))
             evaluation_s = time.perf_counter() - start
             root.set(answers=len(answers))
@@ -666,12 +703,13 @@ class QueryAnswerer:
         entries show up in cache stats and are dropped by
         ``QueryCache.clear()`` like every other derived artifact.
         """
-        if self._breaker is None:
-            storage = LRUCache(512)
-            if self.cache is not None:
-                self.cache.register("breaker", storage)
-            self._breaker = CircuitBreaker(storage=storage)
-        return self._breaker
+        with self._lock:
+            if self._breaker is None:
+                storage = LRUCache(512)
+                if self.cache is not None:
+                    self.cache.register("breaker", storage)
+                self._breaker = CircuitBreaker(storage=storage)
+            return self._breaker
 
     def _record_accuracy(
         self,
@@ -719,23 +757,39 @@ class QueryAnswerer:
         if strategy != "saturation":
             return self.engine
         # The saturated store is a derived artifact: rebuild it whenever
-        # the schema or the data has mutated since it was computed.
+        # the schema or the data has mutated since it was computed.  The
+        # lock keeps concurrent first-callers from saturating the store
+        # twice (and from publishing a half-built engine).
         current = (self.database.schema.fingerprint(), self.database.epoch)
-        if self._saturated_engine is None or self._saturated_key != current:
-            saturated_db = self.database.saturated()
-            factory = getattr(self.engine, "for_database", None)
-            if factory is not None:
-                # The engine protocol's way to derive a sibling over
-                # another store — decorators (chaos) decide here whether
-                # the derived engine is wrapped.
-                self._saturated_engine = factory(saturated_db)
-            else:
-                self._saturated_engine = type(self.engine)(
-                    saturated_db, *self._engine_extra_args()
-                )
-            self._saturated_key = current
-        return self._saturated_engine
+        with self._lock:
+            if self._saturated_engine is None or self._saturated_key != current:
+                saturated_db = self.database.saturated()
+                factory = getattr(self.engine, "for_database", None)
+                if factory is not None:
+                    # The engine protocol's way to derive a sibling over
+                    # another store — decorators (chaos) decide here
+                    # whether the derived engine is wrapped.
+                    self._saturated_engine = factory(saturated_db)
+                else:
+                    self._saturated_engine = type(self.engine)(
+                        saturated_db, *self._engine_extra_args()
+                    )
+                self._saturated_key = current
+            return self._saturated_engine
 
     def _engine_extra_args(self):
         profile = getattr(self.engine, "profile", None)
         return (profile,) if profile is not None else ()
+
+    def close(self) -> None:
+        """Release owned resources (the worker pool, when this answerer
+        created it from ``workers=``; a shared ``pool=`` is left alone)."""
+        if self._owns_pool and self.pool is not None:
+            self.pool.shutdown()
+            self.pool = None
+
+    def __enter__(self) -> "QueryAnswerer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -9,10 +9,18 @@ counters that the answerer exports through
 
 ``capacity=None`` means unbounded — used where the legacy behaviour
 (memoize forever) is still wanted, while keeping the accounting.
+
+The cache is thread-safe: levels are shared across the parallel worker
+pool (per-thread SQLite engines share one SQL cache, every worker bumps
+the same counters), and an ``OrderedDict``'s ``move_to_end``/eviction
+dance is a multi-step mutation that must not interleave.  All compound
+operations hold a per-cache lock; the counter reads used for reporting
+stay lock-free (single attribute loads are atomic in CPython).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Iterator, Optional
 
@@ -23,13 +31,22 @@ MISSING = object()
 class LRUCache:
     """Mapping with LRU eviction and hit/miss/eviction counters."""
 
-    __slots__ = ("capacity", "_data", "hits", "misses", "evictions", "invalidations")
+    __slots__ = (
+        "capacity",
+        "_data",
+        "_lock",
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+    )
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.capacity = capacity
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -40,45 +57,51 @@ class LRUCache:
     # ------------------------------------------------------------------
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Counted lookup: a hit refreshes the entry's recency."""
-        value = self._data.get(key, MISSING)
-        if value is MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, MISSING)
+            if value is MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or overwrite; evicts the LRU entry past capacity."""
-        data = self._data
-        if key in data:
+        with self._lock:
+            data = self._data
+            if key in data:
+                data[key] = value
+                data.move_to_end(key)
+                return
             data[key] = value
-            data.move_to_end(key)
-            return
-        data[key] = value
-        if self.capacity is not None:
-            while len(data) > self.capacity:
-                data.popitem(last=False)
-                self.evictions += 1
+            if self.capacity is not None:
+                while len(data) > self.capacity:
+                    data.popitem(last=False)
+                    self.evictions += 1
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Uncounted lookup that does not refresh recency (tests/tools)."""
-        return self._data.get(key, default)
+        with self._lock:
+            return self._data.get(key, default)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
         return len(self._data)
 
     def keys(self) -> Iterator[Hashable]:
-        """Keys from least- to most-recently used."""
-        return iter(self._data.keys())
+        """Keys from least- to most-recently used (a point-in-time snapshot)."""
+        with self._lock:
+            return iter(list(self._data.keys()))
 
     def clear(self) -> None:
         """Drop every entry and count one invalidation (counters persist)."""
-        self._data.clear()
-        self.invalidations += 1
+        with self._lock:
+            self._data.clear()
+            self.invalidations += 1
 
     # ------------------------------------------------------------------
     # Accounting

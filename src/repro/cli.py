@@ -129,6 +129,17 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate reformulation batches on N pool workers "
+        "(0 = one per CPU; default: serial; DESIGN.md §11)",
+    )
+
+
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fallback",
@@ -210,11 +221,14 @@ def _answerer(
     engine_kind: str,
     verify_ir: bool = False,
     cache: Optional[QueryCache] = None,
+    workers: Optional[int] = None,
 ) -> QueryAnswerer:
     engine = (
         SQLiteEngine(database) if engine_kind == "sqlite" else NativeEngine(database)
     )
-    return QueryAnswerer(database, engine=engine, verify_ir=verify_ir, cache=cache)
+    return QueryAnswerer(
+        database, engine=engine, verify_ir=verify_ir, cache=cache, workers=workers
+    )
 
 
 # ----------------------------------------------------------------------
@@ -259,7 +273,13 @@ def cmd_query(args: argparse.Namespace) -> int:
         query = _parse_with_prefixes(args.query, args.prefix)
     parse_s = time.perf_counter() - parse_start
     cache = QueryCache() if args.cache else None
-    answerer = _answerer(database, args.engine, verify_ir=args.verify_ir, cache=cache)
+    answerer = _answerer(
+        database,
+        args.engine,
+        verify_ir=args.verify_ir,
+        cache=cache,
+        workers=args.workers,
+    )
     _print_lint_findings(lint_query(query, database=database))
     budget = _budget_from_args(args)
     repeat = max(1, args.repeat)
@@ -347,6 +367,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         args.engine,
         verify_ir=args.verify_ir,
         cache=QueryCache() if args.cache else None,
+        workers=args.workers,
     )
     _print_lint_findings(lint_query(query, database=database))
     budget = _budget_from_args(args)
@@ -656,7 +677,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         )
         chaos = ChaosEngine(engine, config)
         chaos.sleeper = lambda _s: None
-        answerer = QueryAnswerer(database, engine=chaos, fallback=policy)
+        answerer = QueryAnswerer(
+            database, engine=chaos, fallback=policy, workers=args.workers
+        )
         answerer.reformulator.limit = args.limit
         degraded = 0
         for name, query in queries:
@@ -743,6 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser("query", help="answer a query over a dataset")
     _add_query_arguments(query)
     _add_resilience_arguments(query)
+    _add_workers_argument(query)
     query.add_argument("--timeout", type=float, default=None, help="seconds")
     query.add_argument(
         "--trace", metavar="FILE", help="export a JSON-lines telemetry trace"
@@ -766,6 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_query_arguments(profile)
     _add_resilience_arguments(profile)
+    _add_workers_argument(profile)
     profile.add_argument("--timeout", type=float, default=None, help="seconds")
     profile.add_argument(
         "--trace", metavar="FILE", help="export a JSON-lines telemetry trace"
@@ -858,6 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = commands.add_parser(
         "chaos", help="differential fault-injection run (DESIGN.md §10)"
     )
+    _add_workers_argument(chaos)
     chaos.add_argument("data", help="N-Triples file (constraints + facts)")
     chaos.add_argument(
         "-q", "--query", action="append", default=[], help="SPARQL BGP text (repeatable)"

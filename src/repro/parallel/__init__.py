@@ -1,0 +1,23 @@
+"""Parallel JUCQ evaluation: shared worker pool + batch evaluator.
+
+See DESIGN.md §11.  The pool is engine-agnostic; per-engine concurrency
+(e.g. SQLite's per-thread connections) lives inside the engines.
+"""
+
+from .evaluator import (
+    MIN_BATCH_TERMS,
+    CancellableBudget,
+    evaluate_parallel,
+    partition_jucq,
+)
+from .pool import WorkerPool, current_worker, default_workers
+
+__all__ = [
+    "MIN_BATCH_TERMS",
+    "CancellableBudget",
+    "WorkerPool",
+    "current_worker",
+    "default_workers",
+    "evaluate_parallel",
+    "partition_jucq",
+]

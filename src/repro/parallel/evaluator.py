@@ -1,0 +1,472 @@
+"""Parallel JUCQ evaluation over a shared worker pool.
+
+The paper's JUCQ covers (Sections 3–4) evaluate ``m`` fragment UCQs and
+join them on shared head variables; the fragments are independent until
+the join, and a UCQ's union terms are independent until the final
+duplicate elimination.  :func:`evaluate_parallel` exploits exactly that
+structure:
+
+1. :func:`partition_jucq` turns the JUCQ into per-operand tasks,
+   splitting the largest operands' union-term lists in half until the
+   task count reaches the pool width (never below ``min_batch_terms``
+   terms per batch, so tiny queries don't pay scheduling overhead);
+2. each task evaluates its sub-UCQ through the *unchanged* engine
+   protocol on a pool worker — any engine works, and per-engine
+   concurrency concerns (SQLite's per-thread connections) stay inside
+   the engine;
+3. batch results are unioned per operand (duplicate elimination at the
+   merge boundary: splitting a UCQ can only duplicate answers *across*
+   batches, never invent new ones), joined with the same greedy
+   smallest-first, joinable-preferred order as
+   :meth:`~repro.engine.evaluator.NativeEngine._eval_jucq`, and
+   projected onto the JUCQ head.
+
+Failure semantics are serial-compatible: the first batch error becomes
+*the* error of the whole evaluation and trips a shared cancellation
+token; outstanding batches observe the token through their
+:class:`CancellableBudget` (engines treat it as budget expiry — the
+native deadline checkpoints and SQLite's progress handler both poll
+``expired``) and their secondary cancellation artifacts are discarded.
+The resilience ladder above sees one exception, exactly as if the
+serial path had raised it.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from concurrent.futures import as_completed
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine.evaluator import AnswerSet, EngineFailure, EngineTimeout, _variable_names
+from ..query.algebra import JUCQ, UCQ, ucq_as_jucq
+from ..rdf.terms import Term, Variable
+from ..resilience.budget import ExecutionBudget
+from ..telemetry.metrics import MetricsRecorder
+from ..telemetry.tracer import NULL_TRACER
+from .pool import WorkerPool, current_worker
+
+#: Smallest union-term count a batch may be split down to.
+MIN_BATCH_TERMS = 4
+
+
+class _Cancelled(Exception):
+    """A batch observed the cancellation token before starting.
+
+    Internal: never escapes :func:`evaluate_parallel` — cancelled
+    batches are bookkeeping, not outcomes.
+    """
+
+
+class CancellableBudget:
+    """A budget view shared by every batch of one parallel evaluation.
+
+    Wraps the caller's (already started) :class:`ExecutionBudget` — or
+    nothing — and ORs a shared cancellation token into ``expired``, so
+    the first failing batch stops the others at their next cooperative
+    checkpoint.  ``cancellable`` tells the SQLite backend to install
+    its progress handler even without a wall-clock deadline.
+
+    ``max_result_rows`` is reported as ``None``: the final-result cap
+    applies to the *merged* answer set (a batch may legally exceed it
+    when the join shrinks the result), so :func:`evaluate_parallel`
+    enforces it once at the merge boundary, mirroring where the serial
+    engine applies it.
+    """
+
+    #: Engines that support cooperative cancellation check this marker.
+    cancellable = True
+
+    __slots__ = ("inner", "token")
+
+    def __init__(
+        self, inner: Optional[ExecutionBudget], token: threading.Event
+    ) -> None:
+        self.inner = None if inner is None else inner.start()
+        self.token = token
+
+    def start(self) -> "CancellableBudget":
+        """Already running (the wrapped budget was started once, shared)."""
+        return self
+
+    @property
+    def started(self) -> bool:
+        return True
+
+    @property
+    def expired(self) -> bool:
+        if self.token.is_set():
+            return True
+        return self.inner is not None and self.inner.expired
+
+    @property
+    def timeout_s(self) -> Optional[float]:
+        return None if self.inner is None else self.inner.timeout_s
+
+    def remaining_s(self) -> Optional[float]:
+        return None if self.inner is None else self.inner.remaining_s()
+
+    def row_limit(self, engine_limit: int) -> int:
+        return engine_limit if self.inner is None else self.inner.row_limit(engine_limit)
+
+    def union_limit(self, engine_limit: int) -> int:
+        return (
+            engine_limit if self.inner is None else self.inner.union_limit(engine_limit)
+        )
+
+    @property
+    def max_result_rows(self) -> Optional[int]:
+        return None
+
+    @property
+    def max_union_terms(self) -> Optional[int]:
+        return None if self.inner is None else self.inner.max_union_terms
+
+    @property
+    def max_intermediate_rows(self) -> Optional[int]:
+        return None if self.inner is None else self.inner.max_intermediate_rows
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+def partition_jucq(
+    jucq: JUCQ,
+    max_tasks: int,
+    min_batch_terms: int = MIN_BATCH_TERMS,
+) -> List[Tuple[int, UCQ]]:
+    """Split a JUCQ into ``(operand_index, sub-UCQ)`` evaluation tasks.
+
+    Starts with one task per operand (the natural fragment grain) and
+    repeatedly halves the largest task while the task count is below
+    ``max_tasks`` and the victim still has at least
+    ``2 * min_batch_terms`` union terms — so no batch ever drops below
+    ``min_batch_terms`` and one-term operands are never split.  Every
+    sub-UCQ keeps its operand's head, so batch answer tuples are
+    column-compatible for the per-operand merge.
+    """
+    if max_tasks < 1:
+        raise ValueError(f"max_tasks must be >= 1, got {max_tasks}")
+    tasks: List[Tuple[int, UCQ]] = list(enumerate(jucq))
+    while len(tasks) < max_tasks:
+        splittable = [t for t in tasks if len(t[1]) >= 2 * min_batch_terms]
+        if not splittable:
+            break
+        victim = max(splittable, key=lambda t: len(t[1]))
+        tasks.remove(victim)
+        index, ucq = victim
+        half = len(ucq.cqs) // 2
+        tasks.append(
+            (index, UCQ(ucq.cqs[:half], name=f"{ucq.name}/a", head=ucq.head))
+        )
+        tasks.append(
+            (index, UCQ(ucq.cqs[half:], name=f"{ucq.name}/b", head=ucq.head))
+        )
+    tasks.sort(key=lambda t: t[0])
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Pure-Python decoded-relation join (mirrors the native JUCQ join)
+# ----------------------------------------------------------------------
+#: A decoded relation: ordered column names + a set of term tuples.
+_Rel = Tuple[List[str], Set[Tuple[Term, ...]]]
+
+
+def _relation(names: Sequence[str], rows: FrozenSet[Tuple[Term, ...]]) -> _Rel:
+    """Build a relation, collapsing duplicate column names.
+
+    A head like ``(x, x)`` names the same variable twice; both
+    positions carry the same value in every answer, so keeping the
+    first occurrence loses nothing and keeps join keys unambiguous.
+    """
+    keep: List[int] = []
+    seen: Set[str] = set()
+    for i, name in enumerate(names):
+        if name not in seen:
+            seen.add(name)
+            keep.append(i)
+    if len(keep) == len(names):
+        return list(names), set(rows)
+    return [names[i] for i in keep], {tuple(r[i] for i in keep) for r in rows}
+
+
+def _join(a: _Rel, b: _Rel) -> _Rel:
+    """Natural hash join on shared column names (cross product if none)."""
+    a_cols, a_rows = a
+    b_cols, b_rows = b
+    shared = [c for c in a_cols if c in b_cols]
+    b_keep = [i for i, c in enumerate(b_cols) if c not in a_cols]
+    out_cols = a_cols + [b_cols[i] for i in b_keep]
+    out_rows: Set[Tuple[Term, ...]] = set()
+    if not shared:
+        for ra in a_rows:
+            for rb in b_rows:
+                out_rows.add(ra + rb)
+        return out_cols, out_rows
+    a_key = [a_cols.index(c) for c in shared]
+    b_key = [b_cols.index(c) for c in shared]
+    index: Dict[Tuple[Term, ...], List[Tuple[Term, ...]]] = {}
+    for rb in b_rows:
+        key = tuple(rb[i] for i in b_key)
+        index.setdefault(key, []).append(tuple(rb[i] for i in b_keep))
+    for ra in a_rows:
+        tails = index.get(tuple(ra[i] for i in a_key))
+        if tails:
+            for tail in tails:
+                out_rows.add(ra + tail)
+    return out_cols, out_rows
+
+
+# ----------------------------------------------------------------------
+# Engine-protocol adaptation (same trick as the answerer's)
+# ----------------------------------------------------------------------
+_ENGINE_ACCEPTS: Dict[type, FrozenSet[str]] = {}
+
+
+def _engine_accepts(engine) -> FrozenSet[str]:
+    """Which optional ``evaluate`` kwargs this engine's class takes."""
+    cls = type(engine)
+    cached = _ENGINE_ACCEPTS.get(cls)
+    if cached is None:
+        parameters = inspect.signature(cls.evaluate).parameters
+        cached = frozenset(
+            name
+            for name in ("timeout_s", "tracer", "metrics", "budget")
+            if name in parameters
+        )
+        _ENGINE_ACCEPTS[cls] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# The parallel evaluation itself
+# ----------------------------------------------------------------------
+def evaluate_parallel(
+    engine,
+    query,
+    pool: WorkerPool,
+    timeout_s: Optional[float] = None,
+    tracer=None,
+    metrics: Optional[MetricsRecorder] = None,
+    budget: Optional[ExecutionBudget] = None,
+    min_batch_terms: int = MIN_BATCH_TERMS,
+) -> AnswerSet:
+    """Evaluate a UCQ/JUCQ with union-term batches spread over ``pool``.
+
+    Drop-in for ``engine.evaluate``: same answer set, same exception
+    taxonomy, same budget semantics (one shared deadline, first
+    exhaustion cancels the outstanding batches).  Queries without
+    exploitable structure — BGPs, e.g. from the saturation strategy —
+    are delegated to the engine untouched.
+    """
+    if isinstance(query, UCQ):
+        query = ucq_as_jucq(query)
+    if not isinstance(query, JUCQ):
+        return _delegate_serial(engine, query, timeout_s, tracer, metrics, budget)
+
+    tracer = NULL_TRACER if tracer is None else tracer
+    budget = ExecutionBudget.resolve(budget, timeout_s)
+    if budget is not None:
+        budget = budget.start()
+    profile = getattr(engine, "profile", None)
+    engine_label = (
+        profile.name if profile is not None
+        else getattr(engine, "name", type(engine).__name__)
+    )
+
+    # Serial-parity pre-checks on the *whole* operands: partitioning
+    # must not let a query slip under a union-term cap the serial path
+    # would have rejected.
+    union_cap: Optional[int] = (
+        None if profile is None else profile.max_union_terms
+    )
+    if budget is not None:
+        union_cap = (
+            budget.max_union_terms if union_cap is None
+            else budget.union_limit(union_cap)
+        )
+    if union_cap is not None:
+        for operand in query:
+            if len(operand) > union_cap:
+                raise EngineFailure(
+                    f"{len(operand)} union terms exceed the compound "
+                    f"statement limit of {union_cap} ({engine_label})"
+                )
+    row_cap: Optional[int] = (
+        None if profile is None else profile.max_intermediate_rows
+    )
+    if budget is not None:
+        row_cap = (
+            budget.max_intermediate_rows if row_cap is None
+            else budget.row_limit(row_cap)
+        )
+
+    token = threading.Event()
+    shared = CancellableBudget(budget, token)
+    accepts = _engine_accepts(engine)
+    tasks = partition_jucq(query, pool.max_workers, min_batch_terms)
+
+    with tracer.span(
+        "parallel.evaluate",
+        operands=len(query),
+        tasks=len(tasks),
+        workers=pool.max_workers,
+    ) as eval_span:
+        if metrics is not None:
+            metrics.inc("parallel.evaluations")
+            metrics.inc("parallel.tasks", len(tasks))
+        futures = [
+            pool.submit(
+                _run_batch,
+                engine, index, ucq, accepts, shared, token, tracer, eval_span,
+                metrics,
+            )
+            for index, ucq in tasks
+        ]
+        merged: Dict[int, Set[Tuple[Term, ...]]] = {
+            index: set() for index in range(len(query))
+        }
+        primary: Optional[BaseException] = None
+        for future in as_completed(futures):
+            try:
+                index, answers = future.result()
+            except _Cancelled:
+                if metrics is not None:
+                    metrics.inc("parallel.batches_cancelled")
+                continue
+            except Exception as error:  # noqa: BLE001 — first error wins
+                if primary is None:
+                    primary = error
+                    token.set()
+                elif metrics is not None:
+                    metrics.inc("parallel.errors_suppressed")
+                continue
+            # Duplicate elimination at the merge boundary: set union
+            # absorbs answers produced by more than one batch of a
+            # split operand.
+            merged[index] |= answers
+            if metrics is not None:
+                metrics.append("parallel.batch_rows", len(answers))
+        if primary is not None:
+            raise primary
+        if row_cap is not None:
+            # Serial parity: the serial UCQ path caps the *combined*
+            # union relation, so the merged per-operand sets must not
+            # slip past the limit just because each batch fit.
+            for index, rows in merged.items():
+                if len(rows) > row_cap:
+                    raise EngineFailure(
+                        f"operand union of {len(rows)} rows exceeds "
+                        f"the limit of {row_cap} ({engine_label})"
+                    )
+
+        relations = [
+            _relation(_variable_names(operand.head), frozenset(merged[index]))
+            for index, operand in enumerate(query)
+        ]
+        result = _join_relations(relations, shared, row_cap, engine_label)
+        answers_out = _project(result, query.head)
+        result_cap = None if budget is None else budget.max_result_rows
+        if result_cap is not None and len(answers_out) > result_cap:
+            raise EngineFailure(
+                f"result of {len(answers_out)} rows exceeds the budget's "
+                f"max_result_rows={result_cap}"
+            )
+        eval_span.set(rows=len(answers_out))
+    return answers_out
+
+
+def _delegate_serial(engine, query, timeout_s, tracer, metrics, budget) -> AnswerSet:
+    """Pass a structureless query straight to the engine."""
+    accepts = _engine_accepts(engine)
+    kwargs = {}
+    if timeout_s is not None and "timeout_s" in accepts:
+        kwargs["timeout_s"] = timeout_s
+    if tracer is not None and "tracer" in accepts:
+        kwargs["tracer"] = tracer
+    if metrics is not None and "metrics" in accepts:
+        kwargs["metrics"] = metrics
+    if budget is not None:
+        if "budget" in accepts:
+            kwargs["budget"] = budget
+        elif "timeout_s" in accepts:
+            kwargs["timeout_s"] = budget.start().remaining_s()
+    return engine.evaluate(query, **kwargs)
+
+
+def _run_batch(
+    engine, index, ucq, accepts, shared, token, tracer, parent, metrics
+):
+    """One pool task: evaluate a sub-UCQ through the engine protocol."""
+    if token.is_set():
+        raise _Cancelled()
+    kwargs = {}
+    if "tracer" in accepts:
+        kwargs["tracer"] = tracer
+    if "metrics" in accepts and metrics is not None:
+        kwargs["metrics"] = metrics
+    if "budget" in accepts:
+        kwargs["budget"] = shared
+    elif "timeout_s" in accepts and shared.remaining_s() is not None:
+        # Legacy engine without budget support: give it the shared
+        # deadline's remaining allowance (re-read at batch start).
+        kwargs["timeout_s"] = shared.remaining_s()
+    with tracer.span(
+        "parallel.batch",
+        parent=parent,
+        operand=index,
+        terms=len(ucq),
+        worker=current_worker(),
+    ) as span:
+        answers = engine.evaluate(ucq, **kwargs)
+        span.set(rows=len(answers))
+    return index, answers
+
+
+def _join_relations(
+    relations: List[_Rel],
+    shared: CancellableBudget,
+    row_cap: Optional[int],
+    engine_label: str,
+) -> _Rel:
+    """Greedy smallest-first join, preferring joinable operands.
+
+    The same order policy as the native engine's JUCQ join, so the two
+    paths materialize comparable intermediates and fail the same way on
+    blowups.
+    """
+    remaining = sorted(range(len(relations)), key=lambda i: len(relations[i][1]))
+    current = relations[remaining.pop(0)]
+    while remaining:
+        if shared.expired:
+            raise EngineTimeout("query evaluation exceeded its budget deadline")
+        current_cols = set(current[0])
+        joinable = [
+            i for i in remaining if set(relations[i][0]) & current_cols
+        ] or remaining
+        chosen = min(joinable, key=lambda i: len(relations[i][1]))
+        remaining.remove(chosen)
+        current = _join(current, relations[chosen])
+        if row_cap is not None and len(current[1]) > row_cap:
+            raise EngineFailure(
+                f"join intermediate of {len(current[1])} rows exceeds "
+                f"the limit of {row_cap} ({engine_label})"
+            )
+    return current
+
+
+def _project(relation: _Rel, head: Sequence[Term]) -> AnswerSet:
+    """Project the joined relation onto the JUCQ head (with dedup)."""
+    cols, rows = relation
+    position = {name: i for i, name in enumerate(cols)}
+    picks = [
+        position[term.value] if isinstance(term, Variable) else term
+        for term in head
+    ]
+    out: Set[Tuple[Term, ...]] = set()
+    for row in rows:
+        out.add(
+            tuple(row[p] if isinstance(p, int) else p for p in picks)
+        )
+    return frozenset(out)

@@ -1,0 +1,97 @@
+"""A bounded shared worker pool for parallel query evaluation.
+
+One :class:`WorkerPool` is meant to be shared by everything in a
+process that evaluates concurrently — the answerer's parallel JUCQ
+path, the benchmark harness, tests — so the *total* evaluation
+parallelism is bounded once, instead of every caller spawning its own
+threads.  The backing :class:`~concurrent.futures.ThreadPoolExecutor`
+is created lazily on first submit, so constructing an answerer with
+``workers=N`` costs nothing until a parallel query actually runs.
+
+Threads (not processes) are the right grain here: SQLite releases the
+GIL while stepping a statement and numpy releases it inside array
+kernels, so fragment evaluations genuinely overlap on multi-core
+hosts, while all workers still share the engine's caches, the
+dictionary, and the statistics memos without serialization overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+#: Thread-name prefix of pool workers; ``current_worker`` reports the
+#: full thread name, which spans record as their ``worker`` attribute.
+WORKER_PREFIX = "repro-worker"
+
+
+def default_workers() -> int:
+    """The default pool width: one worker per available CPU."""
+    return os.cpu_count() or 1
+
+
+def current_worker() -> str:
+    """The calling thread's name (the span ``worker`` attribute)."""
+    return threading.current_thread().name
+
+
+class WorkerPool:
+    """A lazily-started, bounded thread pool with a stable identity.
+
+    ``max_workers=None`` (or 0) means :func:`default_workers`.  The
+    pool is safe to share across threads and across many queries; it is
+    shut down explicitly via :meth:`shutdown` or by using it as a
+    context manager.  Submitting to a shut-down pool raises
+    ``RuntimeError`` (the executor's own behaviour), so a stale
+    answerer fails loudly instead of silently going serial.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 0:
+            raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
+        self.max_workers = max_workers if max_workers else default_workers()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._shut_down = False
+
+    @property
+    def started(self) -> bool:
+        """Whether the backing executor has been created yet."""
+        return self._executor is not None
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._shut_down:
+                raise RuntimeError("cannot submit to a shut-down WorkerPool")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix=WORKER_PREFIX,
+                )
+            return self._executor
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Schedule ``fn(*args, **kwargs)`` on a pool worker."""
+        return self._ensure_executor().submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for the workers."""
+        with self._lock:
+            self._shut_down = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        state = "shut-down" if self._shut_down else (
+            "started" if self.started else "idle"
+        )
+        return f"WorkerPool(max_workers={self.max_workers}, {state})"

@@ -31,6 +31,7 @@ call faults.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional
@@ -83,6 +84,11 @@ class ChaosEngine:
         self.engine = engine
         self.config = config if config is not None else ChaosConfig()
         self._rng = random.Random(self.config.seed)
+        #: Guards the RNG and the fault accounting: a draw is *three*
+        #: RNG values plus a ``max_faults`` check, and parallel batch
+        #: evaluations must not interleave the triple (which would
+        #: desynchronize the seeded stream mid-call).
+        self._lock = threading.Lock()
         #: Total faults raised so far (bounded by ``max_faults``).
         self.faults_injected = 0
         #: Per-kind counts and an ordered injection log for assertions.
@@ -105,13 +111,18 @@ class ChaosEngine:
     # Injection core
     # ------------------------------------------------------------------
     def _draw(self, query) -> Dict[str, bool]:
-        """Roll all three fault dice for one call (always three draws)."""
+        """Roll all three fault dice for one call (always three draws).
+
+        Atomic under the engine lock so concurrent calls each consume a
+        contiguous triple from the seeded stream.
+        """
         config = self.config
-        rolls = (self._rng.random(), self._rng.random(), self._rng.random())
-        exhausted = (
-            config.max_faults is not None
-            and self.faults_injected >= config.max_faults
-        )
+        with self._lock:
+            rolls = (self._rng.random(), self._rng.random(), self._rng.random())
+            exhausted = (
+                config.max_faults is not None
+                and self.faults_injected >= config.max_faults
+            )
         plan = {
             "slow": rolls[0] < config.slow_rate,
             "timeout": not exhausted and rolls[1] < config.timeout_rate,
@@ -123,10 +134,11 @@ class ChaosEngine:
         return plan
 
     def _record(self, kind: str, query, metrics=None) -> None:
-        self.counts[kind] += 1
-        self.log.append({"kind": kind, "query": getattr(query, "name", None)})
-        if kind != "slow":
-            self.faults_injected += 1
+        with self._lock:
+            self.counts[kind] += 1
+            self.log.append({"kind": kind, "query": getattr(query, "name", None)})
+            if kind != "slow":
+                self.faults_injected += 1
         if metrics is not None:
             metrics.inc(f"chaos.injected.{kind}")
 
@@ -190,12 +202,13 @@ class ChaosEngine:
 
     def reset(self, seed: Optional[int] = None) -> None:
         """Restart the injection stream (optionally with a new seed)."""
-        if seed is not None:
-            self.config = replace(self.config, seed=seed)
-        self._rng = random.Random(self.config.seed)
-        self.faults_injected = 0
-        self.counts = {"timeout": 0, "failure": 0, "slow": 0}
-        self.log.clear()
+        with self._lock:
+            if seed is not None:
+                self.config = replace(self.config, seed=seed)
+            self._rng = random.Random(self.config.seed)
+            self.faults_injected = 0
+            self.counts = {"timeout": 0, "failure": 0, "slow": 0}
+            self.log.clear()
 
     def __repr__(self) -> str:
         return (

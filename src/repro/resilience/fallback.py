@@ -25,6 +25,7 @@ stored on the same :class:`~repro.cache.lru.LRUCache` machinery so the
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -83,6 +84,11 @@ class CircuitBreaker:
     instantly).  After ``cooldown_s`` one probe is let through
     (half-open); its success closes the circuit, its failure re-opens
     it for another cooldown.  ``clock`` is injectable for tests.
+
+    State transitions are check-then-act sequences over the shared
+    per-key records, so a breaker shared by concurrent resilient
+    answers guards them with one lock (contention is negligible — the
+    breaker is consulted once per rung, not per row).
     """
 
     def __init__(
@@ -98,6 +104,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self.clock = clock
+        self._lock = threading.Lock()
         #: Monotone counters (folded into resilience telemetry).
         self.opened = 0
         self.skipped = 0
@@ -126,14 +133,15 @@ class CircuitBreaker:
         Counts a skip when it answers False; flips an elapsed-cooldown
         circuit to half-open and lets the single probe through.
         """
-        state = self._state(key)
-        if state is None or state.opened_at is None:
-            return True
-        if self.clock() - state.opened_at >= self.cooldown_s:
-            state.probing = True
-            return True
-        self.skipped += 1
-        return False
+        with self._lock:
+            state = self._state(key)
+            if state is None or state.opened_at is None:
+                return True
+            if self.clock() - state.opened_at >= self.cooldown_s:
+                state.probing = True
+                return True
+            self.skipped += 1
+            return False
 
     def record_failure(self, key, transient: bool) -> None:
         """Count a failure; open the circuit past the threshold.
@@ -141,22 +149,24 @@ class CircuitBreaker:
         A failed half-open probe re-opens immediately regardless of the
         threshold — the circuit already proved unhealthy once.
         """
-        state = self._state(key, create=True)
-        state.failures += 1
-        reopened_probe = state.probing
-        state.probing = False
-        if reopened_probe or state.failures >= self.failure_threshold:
-            if state.opened_at is None or reopened_probe:
-                self.opened += 1
-            state.opened_at = self.clock()
+        with self._lock:
+            state = self._state(key, create=True)
+            state.failures += 1
+            reopened_probe = state.probing
+            state.probing = False
+            if reopened_probe or state.failures >= self.failure_threshold:
+                if state.opened_at is None or reopened_probe:
+                    self.opened += 1
+                state.opened_at = self.clock()
 
     def record_success(self, key) -> None:
         """Close the circuit (probe succeeded or rung is healthy)."""
-        state = self._state(key)
-        if state is not None:
-            state.failures = 0
-            state.opened_at = None
-            state.probing = False
+        with self._lock:
+            state = self._state(key)
+            if state is not None:
+                state.failures = 0
+                state.opened_at = None
+                state.probing = False
 
     def state(self, key) -> str:
         """``"closed"`` / ``"open"`` / ``"half-open"`` for reporting."""

@@ -5,13 +5,37 @@ The paper stores the ``Triples(s,p,o)`` table dictionary-encoded,
 with the dictionary indexed both ways (Section 5.1).  :class:`Dictionary`
 is that two-way map; codes are dense, starting at 0, so they double as
 array indices.
+
+Concurrency: lookups and decodes are read-only and lock-free (CPython
+dict/list reads are atomic), but code *allocation* is a check-then-act
+sequence — two worker threads encoding the same unseen term could both
+observe "absent" and hand out clashing codes.  :meth:`encode` therefore
+takes a lock on the miss path only; the hot path (term already known)
+stays a single dict read.
+
+Per-kind counts (:meth:`stats`) are maintained incrementally at
+allocation time: the old implementation rescanned every stored term on
+each call, an O(n) walk per report that made frequent ``stats``/CLI
+polling quadratic over the load.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional
 
 from ..rdf.terms import BlankNode, Literal, Term, URI
+
+
+def _kind_of(term: Term) -> str:
+    """The stats bucket a term counts under."""
+    if isinstance(term, URI):
+        return "uris"
+    if isinstance(term, Literal):
+        return "literals"
+    if isinstance(term, BlankNode):
+        return "blank_nodes"
+    return "other"
 
 
 class Dictionary:
@@ -20,6 +44,14 @@ class Dictionary:
     def __init__(self) -> None:
         self._code_of: Dict[Term, int] = {}
         self._term_of: List[Term] = []
+        self._lock = threading.Lock()
+        #: Incremental per-kind counts, updated on every allocation so
+        #: :meth:`stats` is O(1) instead of an O(n) rescan.
+        self._kind_counts: Dict[str, int] = {
+            "uris": 0,
+            "literals": 0,
+            "blank_nodes": 0,
+        }
 
     def encode(self, term: Term) -> int:
         """The code of ``term``, allocating a new one on first sight."""
@@ -27,9 +59,16 @@ class Dictionary:
             raise TypeError(f"variables are not dictionary-encoded: {term}")
         code = self._code_of.get(term)
         if code is None:
-            code = len(self._term_of)
-            self._code_of[term] = code
-            self._term_of.append(term)
+            with self._lock:
+                # Re-check under the lock: another thread may have
+                # allocated the code between the read and the acquire.
+                code = self._code_of.get(term)
+                if code is None:
+                    code = len(self._term_of)
+                    self._term_of.append(term)
+                    self._code_of[term] = code
+                    kind = _kind_of(term)
+                    self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
         return code
 
     def encode_many(self, terms: Iterable[Term]) -> List[int]:
@@ -58,8 +97,9 @@ class Dictionary:
         return f"Dictionary({len(self)} values)"
 
     def stats(self) -> Dict[str, int]:
-        """Counts per term kind, for reporting."""
-        uris = sum(1 for t in self._term_of if isinstance(t, URI))
-        literals = sum(1 for t in self._term_of if isinstance(t, Literal))
-        blanks = sum(1 for t in self._term_of if isinstance(t, BlankNode))
-        return {"uris": uris, "literals": literals, "blank_nodes": blanks}
+        """Counts per term kind, for reporting (O(1): no term rescan)."""
+        return {
+            "uris": self._kind_counts.get("uris", 0),
+            "literals": self._kind_counts.get("literals", 0),
+            "blank_nodes": self._kind_counts.get("blank_nodes", 0),
+        }

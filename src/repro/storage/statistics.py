@@ -27,19 +27,29 @@ invalidates those entries, while schema-stable reformulations survive.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Tuple
 
 from .triple_table import Pattern, TripleTable
 
 
 class TableStatistics:
-    """Memoizing statistics facade over a :class:`TripleTable`."""
+    """Memoizing statistics facade over a :class:`TripleTable`.
+
+    Reads are thread-safe: parallel evaluation workers probe the same
+    statistics while ordering joins, and the clear-and-rebuild sync on
+    version mismatch must not interleave with another thread's memo
+    read (a probe could otherwise cache a *pre*-mutation count under the
+    *post*-mutation version).  The lock is re-entrant because
+    :meth:`distinct` calls :meth:`pattern_count` on bound positions.
+    """
 
     def __init__(self, table: TripleTable):
         self.table = table
         self._count_cache: Dict[Pattern, int] = {}
         self._distinct_cache: Dict[Tuple[Pattern, int], int] = {}
         self._synced_version = table.version
+        self._lock = threading.RLock()
         #: How many times the memos were dropped because the table
         #: changed underneath (instrumentation).
         self.auto_invalidations = 0
@@ -70,12 +80,13 @@ class TableStatistics:
 
     def pattern_count(self, pattern: Pattern) -> int:
         """Exact number of triples matching an encoded pattern."""
-        self._sync()
-        cached = self._count_cache.get(pattern)
-        if cached is None:
-            cached = self.table.match_count(pattern)
-            self._count_cache[pattern] = cached
-        return cached
+        with self._lock:
+            self._sync()
+            cached = self._count_cache.get(pattern)
+            if cached is None:
+                cached = self.table.match_count(pattern)
+                self._count_cache[pattern] = cached
+            return cached
 
     def distinct(self, pattern: Pattern, position: int) -> int:
         """Distinct values at ``position`` among the pattern's matches.
@@ -85,13 +96,14 @@ class TableStatistics:
         """
         if pattern[position] is not None:
             return 1 if self.pattern_count(pattern) else 0
-        self._sync()
-        key = (pattern, position)
-        cached = self._distinct_cache.get(key)
-        if cached is None:
-            cached = self.table.distinct_count(pattern, position)
-            self._distinct_cache[key] = cached
-        return cached
+        with self._lock:
+            self._sync()
+            key = (pattern, position)
+            cached = self._distinct_cache.get(key)
+            if cached is None:
+                cached = self.table.distinct_count(pattern, position)
+                self._distinct_cache[key] = cached
+            return cached
 
     def invalidate(self) -> None:
         """Drop the memos explicitly.
@@ -100,9 +112,10 @@ class TableStatistics:
         longer depends on it — every read auto-invalidates against the
         table version (see the module docstring).
         """
-        self._count_cache.clear()
-        self._distinct_cache.clear()
-        self._synced_version = self.table.version
+        with self._lock:
+            self._count_cache.clear()
+            self._distinct_cache.clear()
+            self._synced_version = self.table.version
 
     def probe_calls(self) -> Tuple[int, int]:
         """(count-cache size, distinct-cache size) — for instrumentation."""

@@ -10,39 +10,53 @@ per JUCQ operand's materialized size or per-operand evaluation time).
 All operators accept ``metrics=None`` and skip recording entirely in
 that case, so the untraced hot path pays one ``is None`` test per
 operator call.
+
+One recorder may be shared by several worker threads (the parallel
+evaluator threads a single recorder through every batch), so every
+read-modify-write — ``inc``'s fetch-add, ``append``'s setdefault,
+``merge``'s fold — happens under a per-recorder lock; unsynchronized
+counters would silently lose increments under concurrent bumps.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional
 
 
 class MetricsRecorder:
     """A flat namespace of integer counters plus ordered series."""
 
-    __slots__ = ("counters", "series")
+    __slots__ = ("counters", "series", "_lock")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         self.series: Dict[str, List[Any]] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to the named counter (creating it at zero)."""
-        self.counters[name] = self.counters.get(name, 0) + int(amount)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
 
     def append(self, name: str, value: Any) -> None:
         """Append one observation to the named series."""
-        self.series.setdefault(name, []).append(value)
+        with self._lock:
+            self.series.setdefault(name, []).append(value)
 
     def merge(self, other: "MetricsRecorder") -> None:
         """Fold another recorder's counters and series into this one."""
-        for name, amount in other.counters.items():
-            self.counters[name] = self.counters.get(name, 0) + amount
-        for name, values in other.series.items():
-            self.series.setdefault(name, []).extend(values)
+        with other._lock:
+            counters = dict(other.counters)
+            series = {name: list(values) for name, values in other.series.items()}
+        with self._lock:
+            for name, amount in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + amount
+            for name, values in series.items():
+                self.series.setdefault(name, []).extend(values)
 
     # ------------------------------------------------------------------
     # Reading
@@ -53,10 +67,11 @@ class MetricsRecorder:
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict snapshot: ``{"counters": {...}, "series": {...}}``."""
-        return {
-            "counters": dict(self.counters),
-            "series": {name: list(values) for name, values in self.series.items()},
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "series": {name: list(values) for name, values in self.series.items()},
+            }
 
     def __bool__(self) -> bool:
         return bool(self.counters or self.series)

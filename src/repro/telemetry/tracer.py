@@ -12,11 +12,26 @@ The default tracer everywhere is :data:`NULL_TRACER`, whose spans are a
 single shared no-op object: the instrumented hot paths pay one attribute
 lookup and one ``with`` block per span, nothing more.  Code that would
 compute expensive attributes should guard on ``tracer.enabled``.
+
+Timing discipline: *durations* (and ``start_s`` offsets) come from
+``time.perf_counter()`` — the monotonic clock NTP steps cannot touch —
+so a wall-clock adjustment mid-span can never produce a negative or
+garbage duration (or q-error denominator downstream).  The only
+wall-clock reads are ``Span.start_unix`` and ``Tracer.created_at``,
+kept purely so exported traces can be correlated with external logs.
+
+Thread model: one tracer may collect spans from many threads at once
+(the parallel evaluator's workers).  The live-span stack is
+*thread-local*, so nesting in one thread never corrupts another's; the
+shared span forest and record list are guarded by a lock.  A worker
+attaches its spans under the submitting thread's span by passing
+``parent=`` explicitly (see :meth:`Tracer.span`).
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from itertools import count
 from typing import Any, Dict, List, Optional
@@ -49,18 +64,30 @@ class Span:
         "children",
         "_tracer",
         "_start_mono",
+        "_parent",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attributes: Dict[str, Any],
+        parent: Optional["Span"] = None,
+    ):
         self._tracer = tracer
         self.name = name
         self.attributes: Dict[str, Any] = dict(attributes)
+        #: Wall-clock start, for export/correlation ONLY — durations and
+        #: ordering always come from the monotonic clock.
         self.start_unix = 0.0
         #: Monotonic offset from the tracer's epoch (orders sibling spans).
         self.start_s = 0.0
         self.duration_s = 0.0
         self.children: List["Span"] = []
         self._start_mono = 0.0
+        #: Explicit parent override (cross-thread attachment); ``None``
+        #: means "nest under the entering thread's innermost live span".
+        self._parent = parent
 
     def set(self, **attributes: Any) -> "Span":
         """Attach attributes to this span; returns the span for chaining."""
@@ -69,9 +96,13 @@ class Span:
 
     def __enter__(self) -> "Span":
         tracer = self._tracer
-        parent = tracer._stack[-1] if tracer._stack else None
-        (parent.children if parent is not None else tracer.roots).append(self)
-        tracer._stack.append(self)
+        stack = tracer._stack
+        parent = self._parent
+        if parent is None:
+            parent = stack[-1] if stack else None
+        with tracer._lock:
+            (parent.children if parent is not None else tracer.roots).append(self)
+        stack.append(self)
         self.start_unix = time.time()
         self._start_mono = time.perf_counter()
         self.start_s = self._start_mono - tracer.epoch
@@ -97,17 +128,35 @@ class Tracer:
 
     def __init__(self) -> None:
         self.epoch = time.perf_counter()
+        #: Wall-clock creation time, export-only (see module docstring).
         self.created_at = time.time()
         self.roots: List[Span] = []
         self.records: List[Dict[str, Any]] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's live-span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def span(self, name: str, **attributes: Any) -> Span:
-        """A new span; nests under the innermost live span when entered."""
-        return Span(self, name, attributes)
+    def span(
+        self, name: str, parent: Optional[Span] = None, **attributes: Any
+    ) -> Span:
+        """A new span; nests under the innermost live span when entered.
+
+        ``parent`` overrides the nesting: a worker thread passes the
+        span that was live on the *submitting* thread, so parallel
+        batches hang under the ``evaluate`` span instead of becoming
+        disconnected roots.
+        """
+        return Span(self, name, attributes, parent=parent)
 
     def annotate(self, **attributes: Any) -> None:
         """Attach attributes to the innermost live span (no-op if none)."""
@@ -116,7 +165,8 @@ class Tracer:
 
     def record(self, kind: str, payload: Dict[str, Any]) -> None:
         """Append a loose (non-span) record, e.g. an accuracy sample."""
-        self.records.append({"type": kind, **payload})
+        with self._lock:
+            self.records.append({"type": kind, **payload})
 
     @property
     def current(self) -> Optional[Span]:
@@ -202,7 +252,9 @@ class NullTracer:
     roots: tuple = ()
     records: tuple = ()
 
-    def span(self, name: str, **attributes: Any) -> _NullSpan:
+    def span(
+        self, name: str, parent: Optional[Any] = None, **attributes: Any
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def annotate(self, **attributes: Any) -> None:

@@ -1,0 +1,615 @@
+"""Parallel JUCQ evaluation: pool, partitioning, parity, concurrency.
+
+The contract under test (DESIGN.md §11): routing evaluation through the
+shared worker pool must be *observationally identical* to the serial
+path — same answer sets, same exception taxonomy, same budget
+semantics — while the shared infrastructure (SQLite connection pool,
+tracer, metrics, dictionary, caches) stays correct under many threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from oracle import (
+    chaos_differential_check,
+    differential_check,
+    make_answerer,
+    make_chaos_answerer,
+    random_queries,
+)
+from repro.cache import QueryCache
+from repro.engine import (
+    EngineFailure,
+    EngineTimeout,
+    NativeEngine,
+    SQLiteEngine,
+)
+from repro.optimizer import SearchInfeasible
+from repro.parallel import (
+    MIN_BATCH_TERMS,
+    CancellableBudget,
+    WorkerPool,
+    default_workers,
+    evaluate_parallel,
+    partition_jucq,
+)
+from repro.query import BGPQuery, JUCQ, UCQ
+from repro.rdf import Literal, RDF_TYPE, Triple, URI, Variable
+from repro.reformulation import ReformulationLimitExceeded
+from repro.resilience import ExecutionBudget
+from repro.storage import RDFDatabase
+from repro.telemetry import Tracer
+
+ALL_STRATEGIES = ("ucq", "pruned-ucq", "scq", "ecov", "gcov", "saturation")
+
+
+def ex(name: str) -> URI:
+    return URI(f"http://ex/{name}")
+
+
+def _scripted_clock(values):
+    """A clock returning ``values`` in order, then the last one forever."""
+    state = list(values)
+
+    def clock() -> float:
+        if len(state) > 1:
+            return state.pop(0)
+        return state[0]
+
+    return clock
+
+
+# ----------------------------------------------------------------------
+# WorkerPool
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_default_width_is_cpu_count(self):
+        assert WorkerPool().max_workers == default_workers()
+        assert WorkerPool(0).max_workers == default_workers()
+        assert WorkerPool(3).max_workers == 3
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(-1)
+
+    def test_lazy_start_and_submit(self):
+        pool = WorkerPool(2)
+        assert not pool.started
+        try:
+            assert pool.submit(lambda: 6 * 7).result() == 42
+            assert pool.started
+        finally:
+            pool.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        pool = WorkerPool(1)
+        pool.submit(lambda: None).result()
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_context_manager_shuts_down(self):
+        with WorkerPool(1) as pool:
+            assert pool.submit(lambda: "ok").result() == "ok"
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+
+# ----------------------------------------------------------------------
+# partition_jucq
+# ----------------------------------------------------------------------
+def _ucq(terms: int, name: str = "u") -> UCQ:
+    x = Variable("x")
+    return UCQ(
+        [
+            BGPQuery([x], [Triple(x, RDF_TYPE, ex(f"C{i}"))], name=f"{name}{i}")
+            for i in range(terms)
+        ],
+        name=name,
+    )
+
+
+class TestPartitionJUCQ:
+    def test_one_task_per_operand_when_enough(self):
+        jucq = JUCQ([Variable("x")], [_ucq(2, "a"), _ucq(3, "b")])
+        tasks = partition_jucq(jucq, max_tasks=2)
+        assert [(i, len(u)) for i, u in tasks] == [(0, 2), (1, 3)]
+
+    def test_small_operands_never_split(self):
+        jucq = JUCQ([Variable("x")], [_ucq(2 * MIN_BATCH_TERMS - 1, "a")])
+        assert len(partition_jucq(jucq, max_tasks=8)) == 1
+
+    def test_largest_operand_splits_first(self):
+        jucq = JUCQ([Variable("x")], [_ucq(4, "small"), _ucq(16, "big")])
+        tasks = partition_jucq(jucq, max_tasks=3)
+        sizes = {}
+        for index, ucq in tasks:
+            sizes.setdefault(index, []).append(len(ucq))
+        assert sizes[0] == [4]
+        assert sorted(sizes[1]) == [8, 8]
+
+    def test_no_batch_below_min_terms(self):
+        jucq = JUCQ([Variable("x")], [_ucq(20, "a")])
+        tasks = partition_jucq(jucq, max_tasks=64)
+        assert all(len(ucq) >= MIN_BATCH_TERMS for _, ucq in tasks)
+
+    def test_batches_cover_operand_exactly(self):
+        original = _ucq(13, "a")
+        jucq = JUCQ([Variable("x")], [original])
+        tasks = partition_jucq(jucq, max_tasks=3)
+        recombined = [cq for _, ucq in tasks for cq in ucq.cqs]
+        assert sorted(recombined, key=str) == sorted(original.cqs, key=str)
+        assert all(ucq.head == original.head for _, ucq in tasks)
+
+    def test_max_tasks_validated(self):
+        with pytest.raises(ValueError):
+            partition_jucq(JUCQ([Variable("x")], [_ucq(1)]), max_tasks=0)
+
+
+# ----------------------------------------------------------------------
+# CancellableBudget
+# ----------------------------------------------------------------------
+class TestCancellableBudget:
+    def test_token_forces_expiry(self):
+        token = threading.Event()
+        shared = CancellableBudget(None, token)
+        assert not shared.expired
+        token.set()
+        assert shared.expired
+
+    def test_wraps_inner_budget(self):
+        inner = ExecutionBudget(
+            timeout_s=5.0,
+            max_union_terms=100,
+            max_intermediate_rows=50,
+            max_result_rows=7,
+            clock=_scripted_clock([0.0, 1.0]),
+        )
+        shared = CancellableBudget(inner, threading.Event())
+        assert shared.timeout_s == 5.0
+        assert shared.union_limit(500) == 100
+        assert shared.row_limit(500) == 50
+        # The final-result cap is enforced once at the merge boundary,
+        # never per batch: a batch may legally exceed it.
+        assert shared.max_result_rows is None
+        assert shared.cancellable is True
+        assert shared.start() is shared
+
+
+# ----------------------------------------------------------------------
+# Parallel ≡ serial answers, all strategies, both engine families
+# ----------------------------------------------------------------------
+def _strategy_answers(answerer, query):
+    out = {}
+    for strategy in ALL_STRATEGIES:
+        try:
+            out[strategy] = answerer.answer(query, strategy=strategy).answers
+        except (ReformulationLimitExceeded, SearchInfeasible):
+            out[strategy] = None
+        except EngineFailure as error:
+            out[strategy] = ("failed", type(error).__name__)
+    return out
+
+
+@pytest.mark.parametrize("engine_name", ("native-hash", "sqlite"))
+def test_parallel_matches_serial_all_strategies(lubm_db, engine_name):
+    engine = None if engine_name == "native-hash" else SQLiteEngine(lubm_db)
+    serial = make_answerer(lubm_db, engine=engine)
+    with make_answerer(lubm_db, engine=engine, workers=3) as parallel:
+        for query in random_queries(lubm_db, 8, seed=7):
+            expected = _strategy_answers(serial, query)
+            observed = _strategy_answers(parallel, query)
+            for strategy in ALL_STRATEGIES:
+                if expected[strategy] is None or isinstance(
+                    expected[strategy], tuple
+                ):
+                    # Serial skip/engine-limit: no answer set to compare
+                    # (splitting may evaluate what one statement cannot).
+                    continue
+                assert observed[strategy] == expected[strategy], (
+                    f"{query.name}/{strategy} on {engine_name}: "
+                    f"parallel diverged from serial"
+                )
+
+
+def test_parallel_handles_single_term_and_boolean_queries(lubm_db):
+    x = Variable("x")
+    some_class = sorted(lubm_db.schema.classes, key=str)[0]
+    queries = [
+        BGPQuery([x], [Triple(x, RDF_TYPE, some_class)], name="single"),
+        BGPQuery([], [Triple(x, RDF_TYPE, some_class)], name="boolean"),
+    ]
+    serial = make_answerer(lubm_db)
+    with make_answerer(lubm_db, workers=2) as parallel:
+        for query in queries:
+            for strategy in ("ucq", "gcov", "saturation"):
+                assert (
+                    parallel.answer(query, strategy=strategy).answers
+                    == serial.answer(query, strategy=strategy).answers
+                )
+
+
+# ----------------------------------------------------------------------
+# Budget parity: deadline, result cap, intermediate cap
+# ----------------------------------------------------------------------
+def _rich_query(lubm_db):
+    """A random query with at least two answers (for cap tests)."""
+    serial = make_answerer(lubm_db)
+    for query in random_queries(lubm_db, 30, seed=11):
+        try:
+            report = serial.answer(query, strategy="gcov")
+        except (ReformulationLimitExceeded, SearchInfeasible, EngineFailure):
+            continue
+        if len(report.answers) >= 2:
+            return query
+    raise AssertionError("no random query produced >= 2 answers")
+
+
+def test_expired_deadline_raises_timeout_on_both_paths(lubm_db):
+    query = _rich_query(lubm_db)
+    for workers in (None, 2):
+        budget = ExecutionBudget(
+            timeout_s=1.0, clock=_scripted_clock([0.0, 100.0])
+        )
+        with make_answerer(lubm_db, workers=workers) as answerer:
+            with pytest.raises(EngineTimeout):
+                answerer.answer(query, strategy="ucq", budget=budget)
+
+
+def test_result_cap_raises_failure_on_both_paths(lubm_db):
+    query = _rich_query(lubm_db)
+    for workers in (None, 2):
+        with make_answerer(lubm_db, workers=workers) as answerer:
+            with pytest.raises(EngineFailure, match="max_result_rows"):
+                answerer.answer(
+                    query,
+                    strategy="ucq",
+                    budget=ExecutionBudget(max_result_rows=1),
+                )
+
+
+def test_intermediate_cap_raises_failure_on_both_paths(lubm_db):
+    query = _rich_query(lubm_db)
+    for workers in (None, 2):
+        with make_answerer(lubm_db, workers=workers) as answerer:
+            with pytest.raises(EngineFailure, match="exceeds"):
+                answerer.answer(
+                    query,
+                    strategy="ucq",
+                    budget=ExecutionBudget(max_intermediate_rows=1),
+                )
+
+
+# ----------------------------------------------------------------------
+# 8-thread differential-oracle stress (the ISSUE's headline test)
+# ----------------------------------------------------------------------
+def _stress(answerer, lubm_db, threads: int = 8, queries_per_thread: int = 3):
+    """Hammer one shared answerer from many threads; collect failures."""
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    def worker(seed: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            for query in random_queries(
+                lubm_db, queries_per_thread, seed=seed, max_atoms=2
+            ):
+                differential_check(answerer, query, label=f"t{seed}:{query.name}")
+        except Exception as error:  # noqa: BLE001 — surfaced below
+            errors.append(error)
+
+    pool = [
+        threading.Thread(target=worker, args=(seed,), name=f"stress-{seed}")
+        for seed in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=120)
+    assert not errors, f"{len(errors)} thread(s) failed; first: {errors[0]!r}"
+
+
+def test_stress_eight_threads_cold(lubm_db):
+    _stress(make_answerer(lubm_db), lubm_db)
+
+
+def test_stress_eight_threads_warm_cache(lubm_db):
+    answerer = make_answerer(lubm_db, cache=QueryCache())
+    # Warm the cache once so the threads race on *hits* too.
+    for query in random_queries(lubm_db, 3, seed=0, max_atoms=2):
+        differential_check(answerer, query)
+    _stress(answerer, lubm_db)
+
+
+def test_stress_eight_threads_parallel_answerer(lubm_db):
+    """Outer threads × inner worker pool: the pool is safely shared."""
+    with make_answerer(lubm_db, workers=2) as answerer:
+        _stress(answerer, lubm_db, threads=8, queries_per_thread=2)
+
+
+# ----------------------------------------------------------------------
+# Chaos regression: parallel ≡ serial answers under injected faults
+# ----------------------------------------------------------------------
+def test_chaos_parallel_recovers_exact_baseline(lubm_db):
+    clean = make_answerer(lubm_db)
+    queries = random_queries(lubm_db, 3, seed=3, max_atoms=2)
+    baselines = {
+        q.name: clean.answer(q, strategy="saturation").answers for q in queries
+    }
+    for seed in (1, 2, 3):
+        with make_chaos_answerer(lubm_db, seed=seed, workers=2) as chaos:
+            for query in queries:
+                chaos_differential_check(
+                    chaos,
+                    baselines[query.name],
+                    query,
+                    label=f"seed{seed}:{query.name}",
+                )
+
+
+def test_chaos_parallel_serial_reports_agree(lubm_db):
+    """Same seed, serial vs parallel ladder: identical final answers."""
+    query = random_queries(lubm_db, 1, seed=5, max_atoms=2)[0]
+    for seed in (7, 8):
+        serial = make_chaos_answerer(lubm_db, seed=seed)
+        with make_chaos_answerer(lubm_db, seed=seed, workers=2) as parallel:
+            assert (
+                serial.answer_resilient(query).answers
+                == parallel.answer_resilient(query).answers
+            )
+
+
+# ----------------------------------------------------------------------
+# SQLite per-thread connection pool
+# ----------------------------------------------------------------------
+def _small_db() -> RDFDatabase:
+    database = RDFDatabase()
+    database.schema.add_subclass(ex("Book"), ex("Publication"))
+    database.load_facts(
+        [Triple(ex(f"doc{i}"), RDF_TYPE, ex("Book")) for i in range(5)]
+    )
+    return database
+
+
+class TestSQLiteConnectionPool:
+    def test_each_thread_gets_its_own_connection(self):
+        engine = SQLiteEngine(_small_db())
+        try:
+            main_connection = engine.connection
+            seen = []
+
+            def probe() -> None:
+                seen.append(engine.connection)
+
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+            assert seen[0] is not main_connection
+            assert engine.pool_size() == 2
+        finally:
+            engine.close()
+
+    def test_closed_engine_refuses_work(self):
+        engine = SQLiteEngine(_small_db())
+        engine.close()
+        with pytest.raises(EngineFailure, match="closed"):
+            engine.execute_sql("SELECT 1")
+
+    def test_connections_refresh_after_mutation(self):
+        database = _small_db()
+        engine = SQLiteEngine(database)
+        x = Variable("x")
+        query = BGPQuery([x], [Triple(x, RDF_TYPE, ex("Book"))], name="books")
+        try:
+            assert len(engine.evaluate(query)) == 5
+
+            worker_counts = []
+
+            def worker_eval() -> None:
+                worker_counts.append(len(engine.evaluate(query)))
+
+            thread = threading.Thread(target=worker_eval)
+            thread.start()
+            thread.join()
+            assert worker_counts == [5]
+
+            database.load_facts([Triple(ex("doc99"), RDF_TYPE, ex("Book"))])
+            # Both the existing worker-style connection and the main
+            # thread's must observe the new version independently.
+            assert len(engine.evaluate(query)) == 6
+            thread = threading.Thread(target=worker_eval)
+            thread.start()
+            thread.join()
+            assert worker_counts[-1] == 6
+        finally:
+            engine.close()
+
+    def test_interrupted_literal_is_not_a_timeout(self):
+        """Regression: "interrupted" in an error message must not be
+        misclassified as a timeout (the old substring check did)."""
+        engine = SQLiteEngine(_small_db())
+        try:
+            with pytest.raises(EngineFailure) as excinfo:
+                engine.execute_sql(
+                    "SELECT * FROM missing_interrupted_table", timeout_s=60.0
+                )
+            assert "interrupted" in str(excinfo.value)
+            assert not isinstance(excinfo.value, EngineTimeout)
+        finally:
+            engine.close()
+
+    def test_genuine_interrupt_is_a_timeout(self):
+        engine = SQLiteEngine(_small_db())
+        engine.progress_interval = 1
+        budget = ExecutionBudget(
+            timeout_s=1.0, clock=_scripted_clock([0.0, 100.0])
+        )
+        try:
+            with pytest.raises(EngineTimeout):
+                engine.execute_sql(
+                    "SELECT a.s FROM triples a, triples b, triples c",
+                    budget=budget,
+                )
+        finally:
+            engine.close()
+
+    def test_concurrent_evaluation_shares_one_engine(self, lubm_db):
+        engine = SQLiteEngine(lubm_db)
+        x = Variable("x")
+        some_class = sorted(lubm_db.schema.classes, key=str)[0]
+        query = BGPQuery([x], [Triple(x, RDF_TYPE, some_class)], name="probe")
+        expected = engine.evaluate(query)
+        results, errors = [], []
+
+        def worker() -> None:
+            try:
+                results.append(engine.evaluate(query))
+            except Exception as error:  # noqa: BLE001 — surfaced below
+                errors.append(error)
+
+        try:
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert all(result == expected for result in results)
+            assert engine.pool_size() == 9  # 8 workers + constructor thread
+        finally:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Dictionary: incremental stats + concurrent encode
+# ----------------------------------------------------------------------
+class TestDictionaryConcurrency:
+    def test_stats_track_kinds_incrementally(self):
+        dictionary = RDFDatabase().dictionary
+        before = dictionary.stats()
+        dictionary.encode(ex("a"))
+        dictionary.encode(ex("b"))
+        dictionary.encode(Literal("l"))
+        dictionary.encode(ex("a"))  # duplicate: no recount
+        after = dictionary.stats()
+        assert after["uris"] - before["uris"] == 2
+        assert after["literals"] - before["literals"] == 1
+        assert after["blank_nodes"] == before["blank_nodes"]
+
+    def test_concurrent_encode_is_consistent(self):
+        dictionary = RDFDatabase().dictionary
+        size_before = len(dictionary)
+        terms = [ex(f"t{i}") for i in range(200)] + [
+            Literal(f"v{i}") for i in range(100)
+        ]
+        codes_by_thread = []
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            barrier.wait(timeout=30)
+            codes_by_thread.append([dictionary.encode(t) for t in terms])
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(codes_by_thread) == 8
+        # Every thread observed the same code for every term.
+        assert all(codes == codes_by_thread[0] for codes in codes_by_thread)
+        assert len(set(codes_by_thread[0])) == len(terms)
+        assert len(dictionary) - size_before == len(terms)
+        for term, code in zip(terms, codes_by_thread[0]):
+            assert dictionary.decode(code) == term
+        stats = dictionary.stats()
+        assert stats["uris"] >= 200 and stats["literals"] >= 100
+
+
+# ----------------------------------------------------------------------
+# Tracer: worker attribution, thread isolation, timing discipline
+# ----------------------------------------------------------------------
+class TestTracerThreading:
+    def test_batch_spans_nest_under_evaluate_with_worker(self, lubm_db):
+        tracer = Tracer()
+        query = random_queries(lubm_db, 1, seed=2, max_atoms=2)[0]
+        with make_answerer(lubm_db, workers=2) as answerer:
+            answerer.answer(query, strategy="ucq", tracer=tracer)
+        entries = {
+            entry["id"]: entry
+            for entry in tracer.to_dicts()
+            if entry["type"] == "span"
+        }
+        evaluates = [
+            e for e in entries.values() if e["name"] == "parallel.evaluate"
+        ]
+        batches = [e for e in entries.values() if e["name"] == "parallel.batch"]
+        assert len(evaluates) == 1 and batches
+        for batch in batches:
+            assert batch["parent"] == evaluates[0]["id"]
+            assert batch["attributes"]["worker"].startswith("repro-worker")
+            assert batch["duration_s"] >= 0.0
+
+    def test_concurrent_spans_stay_thread_local(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(6)
+
+        def worker(index: int) -> None:
+            barrier.wait(timeout=30)
+            with tracer.span(f"outer-{index}"):
+                with tracer.span(f"inner-{index}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.roots) == 6
+        for root in tracer.roots:
+            assert len(root.children) == 1
+            index = root.name.split("-")[1]
+            assert root.children[0].name == f"inner-{index}"
+
+    def test_duration_survives_wall_clock_step(self, monkeypatch):
+        """Regression: durations come from the monotonic clock, so a
+        wall-clock step backwards mid-span cannot go negative."""
+        tracer = Tracer()
+        wall = _scripted_clock([1000.0, 500.0, 400.0])
+        monkeypatch.setattr(time, "time", wall)
+        with tracer.span("stepped") as span:
+            pass
+        assert span.duration_s >= 0.0
+        assert span.start_unix == 1000.0
+
+
+# ----------------------------------------------------------------------
+# evaluate_parallel direct-call edges
+# ----------------------------------------------------------------------
+def test_evaluate_parallel_delegates_bgp_queries(lubm_db):
+    engine = NativeEngine(lubm_db.saturated())
+    x = Variable("x")
+    some_class = sorted(lubm_db.schema.classes, key=str)[0]
+    query = BGPQuery([x], [Triple(x, RDF_TYPE, some_class)], name="bgp")
+    with WorkerPool(2) as pool:
+        assert evaluate_parallel(engine, query, pool) == engine.evaluate(query)
+
+
+def test_evaluate_parallel_first_error_wins(lubm_db):
+    """A failing batch surfaces as the one exception; no partial answers."""
+
+    class ExplodingEngine(NativeEngine):
+        def evaluate(self, query, timeout_s=None, tracer=None, metrics=None,
+                     budget=None):
+            raise EngineFailure("boom")
+
+    engine = ExplodingEngine(lubm_db)
+    jucq = JUCQ([Variable("x")], [_ucq(9, "a"), _ucq(9, "b")])
+    with WorkerPool(4) as pool:
+        with pytest.raises(EngineFailure, match="boom"):
+            evaluate_parallel(engine, jucq, pool)
