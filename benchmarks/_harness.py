@@ -16,7 +16,16 @@ variable                 default  meaning
 ``REPRO_LUBM_LARGE``     48       universities in the "LUBM 100M"-role dataset
 ``REPRO_DBLP_PUBS``      12000    publications in the DBLP-role dataset
 ``REPRO_BENCH_TIMEOUT``  60       per-evaluation timeout (seconds)
+``REPRO_BENCH_REPEATS``  1        timing repeats per measured cell
 =======================  =======  ===========================================
+
+Structured results: every benchmark's ``main()`` funnels its rows
+through a :class:`repro.bench.BenchReport` and returns it, so
+``run_all.py`` can aggregate one schema-versioned ``BENCH_<name>.json``
+perf-trajectory document (compared across commits by
+``repro bench-diff``).  :func:`finish_grid` is the shared epilogue for
+grid-shaped benchmarks — it prints the paper-style table and writes the
+``results/*.txt`` file from the *same* cells the JSON carries.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.answering import QueryAnswerer
+from repro.bench import BenchReport, summarize
 from repro.cache import QueryCache
 from repro.cost import CostConstants, CostModel, calibrate
 from repro.datasets import (
@@ -53,6 +63,18 @@ LUBM_SMALL_UNIVERSITIES = int(os.environ.get("REPRO_LUBM_SMALL", "12"))
 LUBM_LARGE_UNIVERSITIES = int(os.environ.get("REPRO_LUBM_LARGE", "48"))
 DBLP_PUBLICATIONS = int(os.environ.get("REPRO_DBLP_PUBS", "12000"))
 EVAL_TIMEOUT_S = float(os.environ.get("REPRO_BENCH_TIMEOUT", "60"))
+BENCH_REPEATS = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "1")))
+
+
+def scales() -> Dict[str, Any]:
+    """The dataset/measurement scales in effect (BENCH provenance)."""
+    return {
+        "lubm_small_universities": LUBM_SMALL_UNIVERSITIES,
+        "lubm_large_universities": LUBM_LARGE_UNIVERSITIES,
+        "dblp_publications": DBLP_PUBLICATIONS,
+        "timeout_s": EVAL_TIMEOUT_S,
+        "repeats": BENCH_REPEATS,
+    }
 
 #: The three engine personalities of the study (the paper's "three
 #: well-established RDBMSs" role).
@@ -264,6 +286,11 @@ class Measurement:
     #: Flattened telemetry trace (``Tracer.to_dicts`` form) when the
     #: measurement ran traced; ``None`` otherwise.
     trace: Optional[List[Dict[str, Any]]] = None
+    #: Per-repeat timing samples (``REPRO_BENCH_REPEATS`` runs); empty
+    #: on failed cells.  ``optimization_s``/``evaluation_s`` hold the
+    #: first repeat so single-run consumers are unchanged.
+    optimization_samples_s: List[float] = field(default_factory=list)
+    evaluation_samples_s: List[float] = field(default_factory=list)
 
     @property
     def total_ms(self) -> float:
@@ -283,6 +310,45 @@ class Measurement:
 
 
 def measure(
+    dataset: str,
+    entry,
+    strategy: str,
+    engine_name: str,
+    timeout_s: Optional[float] = None,
+    trace: bool = False,
+    verify_ir: bool = False,
+    cache: bool = False,
+    workers: Optional[int] = None,
+    repeats: Optional[int] = None,
+) -> Measurement:
+    """Answer a query ``repeats`` times (default ``REPRO_BENCH_REPEATS``).
+
+    The first repeat's Measurement is returned with every ok repeat's
+    timings collected into ``*_samples_s`` — the repeat distribution
+    the BENCH cells carry.  A non-ok repeat ends the loop: missing-bar
+    failures are deterministic and don't repay re-measurement.
+    """
+    repeats = BENCH_REPEATS if repeats is None else max(1, repeats)
+    runs: List[Measurement] = []
+    for _ in range(repeats):
+        run = _measure_once(
+            dataset, entry, strategy, engine_name,
+            timeout_s, trace, verify_ir, cache, workers,
+        )
+        runs.append(run)
+        if run.status != "ok":
+            break
+    primary = runs[0]
+    primary.optimization_samples_s = [
+        run.optimization_s for run in runs if run.status == "ok"
+    ]
+    primary.evaluation_samples_s = [
+        run.evaluation_s for run in runs if run.status == "ok"
+    ]
+    return primary
+
+
+def _measure_once(
     dataset: str,
     entry,
     strategy: str,
@@ -430,3 +496,66 @@ def results_dir() -> Path:
     path = Path(__file__).parent / "results"
     path.mkdir(exist_ok=True)
     return path
+
+
+# ----------------------------------------------------------------------
+# Structured reports (DESIGN.md §12)
+# ----------------------------------------------------------------------
+def bench_report(name: str, title: Optional[str] = None) -> BenchReport:
+    """A fresh report stamped with this run's scales."""
+    return BenchReport(name, title=title, scales=scales())
+
+
+def measurement_cell(report: BenchReport, m: Measurement) -> None:
+    """Fold one Measurement into a report as a (labels, metrics) cell."""
+    metrics: Dict[str, Any] = {}
+    if m.status == "ok":
+        optimization = m.optimization_samples_s or [m.optimization_s]
+        evaluation = m.evaluation_samples_s or [m.evaluation_s]
+        metrics["optimization_ms"] = summarize(s * 1000 for s in optimization)
+        metrics["evaluation_ms"] = summarize(s * 1000 for s in evaluation)
+    counters = m.metrics.get("counters", {}) if isinstance(m.metrics, dict) else {}
+    info: Dict[str, Any] = {
+        "answers": m.answers,
+        "reformulation_terms": m.reformulation_terms,
+        "covers_explored": m.covers_explored,
+    }
+    if m.detail:
+        info["detail"] = m.detail[:120]
+    report.add_cell(
+        {
+            "dataset": m.dataset,
+            "query": m.query,
+            "strategy": m.strategy,
+            "engine": m.engine,
+        },
+        status=m.status,
+        metrics=metrics,
+        counters=counters,
+        info=info,
+    )
+
+
+def grid_report(
+    name: str, results: Sequence[Measurement], title: Optional[str] = None
+) -> BenchReport:
+    """A full measurement grid as one BenchReport."""
+    report = bench_report(name, title=title)
+    for m in results:
+        measurement_cell(report, m)
+    return report
+
+
+def finish_grid(
+    name: str,
+    title: str,
+    results: Sequence[Measurement],
+    strategies: Sequence[str],
+) -> BenchReport:
+    """Shared grid epilogue: print the table, write ``results/<name>.txt``
+    from the same cells the JSON document will carry, return the report."""
+    print_grid(title, results, strategies)
+    report = grid_report(name, results, title=title)
+    out = report.write_text(results_dir() / f"{name}.txt")
+    print(f"\nraw results written to {out}")
+    return report

@@ -70,6 +70,9 @@ def test_ablation_calibration_correctness(benchmark):
 def main():
     from repro.reformulation import format_cover
 
+    report = H.bench_report(
+        "ablation_calibration", "Ablation — cost-model calibration"
+    )
     print(f"Ablation — calibration ({DATASET})")
     for engine_name in ("native-hash", "sqlite"):
         print(f"\nengine: {engine_name}")
@@ -82,6 +85,17 @@ def main():
                     f"  {name:5} {tag} cover="
                     f"{format_cover(entry.query, result.cover)}"
                 )
+                report.add_cell(
+                    {
+                        "dataset": DATASET,
+                        "query": name,
+                        "engine": engine_name,
+                        "calibrated": str(calibrated).lower(),
+                    },
+                    info={"cover": format_cover(entry.query, result.cover)},
+                )
+    report.write_text(H.results_dir() / "ablation_calibration.txt")
+    return report
 
 
 if __name__ == "__main__":

@@ -78,6 +78,9 @@ def test_ablation_all_variants_correct(benchmark):
 
 
 def main():
+    report = H.bench_report(
+        "ablation_cost_terms", "Ablation — cost-model terms"
+    )
     print(f"Ablation — cost-model terms ({DATASET}, {ENGINE})")
     for name in QUERY_SUBSET:
         entry = next(e for e in H.workload(DATASET) if e.name == name)
@@ -88,6 +91,13 @@ def main():
                 f"  {variant:20} cover={format_cover(entry.query, result.cover):30}"
                 f" est={result.estimated_cost:.4f}"
             )
+            report.add_cell(
+                {"dataset": DATASET, "query": name, "variant": variant},
+                metrics={"estimated_cost": round(result.estimated_cost, 6)},
+                info={"cover": format_cover(entry.query, result.cover)},
+            )
+    report.write_text(H.results_dir() / "ablation_cost_terms.txt")
+    return report
 
 
 if __name__ == "__main__":

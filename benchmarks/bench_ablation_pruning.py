@@ -65,7 +65,9 @@ def test_ablation_pruning_shrinks_but_preserves(benchmark):
 
 
 def main():
-    qa = H.answerer(DATASET, ENGINE)
+    report = H.bench_report(
+        "ablation_pruning", "Ablation — reformulation pruning"
+    )
     print(f"Ablation — pruning ({DATASET}, {ENGINE})")
     print(f"{'query':8}{'|UCQ|':>8}{'|pruned|':>10}{'UCQ ms':>10}"
           f"{'pruned ms':>11}{'GCov ms':>9}")
@@ -76,10 +78,13 @@ def main():
             m = H.measure(DATASET, entry, strategy, ENGINE)
             cells[strategy] = m.cell()
             terms[strategy] = m.reformulation_terms
+            H.measurement_cell(report, m)
         print(
             f"{entry.name:8}{terms.get('ucq', 0):>8}{terms.get('pruned-ucq', 0):>10}"
             f"{cells['ucq']:>10}{cells['pruned-ucq']:>11}{cells['gcov']:>9}"
         )
+    report.write_text(H.results_dir() / "ablation_pruning.txt")
+    return report
 
 
 if __name__ == "__main__":

@@ -70,8 +70,11 @@ def test_bench_cache(benchmark, mode):
 
 
 def main():
+    from repro.bench import summarize
+
     cache = QueryCache()
     answerer = _fresh_answerer(cache)
+    report = H.bench_report("cache", "Cache ablation — cold vs warm passes")
     print(f"Cache ablation ({DATASET}, {ENGINE}, {STRATEGY})")
     print(f"{'pass':8}{'optimize ms':>14}{'evaluate ms':>14}")
     passes = []
@@ -80,6 +83,13 @@ def main():
         passes.append((optimize_s, evaluate_s))
         label = "cold" if index == 0 else f"warm{index}"
         print(f"{label:8}{optimize_s * 1000:>14.1f}{evaluate_s * 1000:>14.1f}")
+        report.add_cell(
+            {"dataset": DATASET, "engine": ENGINE, "pass": label},
+            metrics={
+                "optimize_ms": summarize([optimize_s * 1000]),
+                "evaluate_ms": summarize([evaluate_s * 1000]),
+            },
+        )
     cold, warm = passes[0][0], passes[-1][0]
     if warm > 0:
         print(f"\nwarm/cold optimize speedup: {cold / warm:.1f}x")
@@ -89,6 +99,17 @@ def main():
             f"  {level:<14} size={stats['size']:>5} hits={stats['hits']:>6} "
             f"misses={stats['misses']:>6} hit_rate={stats['hit_rate']:.2f}"
         )
+        report.add_cell(
+            {"dataset": DATASET, "engine": ENGINE, "cache_level": level},
+            counters={
+                "size": stats["size"],
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+            },
+            info={"hit_rate": round(stats["hit_rate"], 3)},
+        )
+    report.write_text(H.results_dir() / "cache.txt")
+    return report
 
 
 if __name__ == "__main__":

@@ -80,20 +80,12 @@ def main():
     results = H.run_grid(
         DATASET, H.workload(DATASET), STRATEGIES, H.ENGINE_NAMES
     )
-    H.print_grid(
+    return H.finish_grid(
+        "fig4_lubm_small",
         f"Figure 4 — {DATASET} ({len(H.database(DATASET))} triples)",
         results,
         STRATEGIES,
     )
-    out = H.results_dir() / "fig4_lubm_small.txt"
-    with out.open("w") as sink:
-        for m in results:
-            sink.write(
-                f"{m.query}\t{m.strategy}\t{m.engine}\t{m.status}\t"
-                f"{m.optimization_s * 1000:.1f}\t{m.evaluation_ms:.1f}\t"
-                f"{m.answers}\t{m.reformulation_terms}\n"
-            )
-    print(f"\nraw results written to {out}")
 
 
 if __name__ == "__main__":

@@ -67,20 +67,12 @@ def test_fig5_ucq_fails_where_gcov_succeeds(benchmark):
 def main():
     queries = [e for e in H.workload(DATASET)]
     results = H.run_grid(DATASET, queries, STRATEGIES, ENGINES)
-    H.print_grid(
+    return H.finish_grid(
+        "fig5_lubm_large",
         f"Figure 5 — {DATASET} ({len(H.database(DATASET))} triples)",
         results,
         STRATEGIES,
     )
-    out = H.results_dir() / "fig5_lubm_large.txt"
-    with out.open("w") as sink:
-        for m in results:
-            sink.write(
-                f"{m.query}\t{m.strategy}\t{m.engine}\t{m.status}\t"
-                f"{m.optimization_s * 1000:.1f}\t{m.evaluation_ms:.1f}\t"
-                f"{m.answers}\t{m.reformulation_terms}\n"
-            )
-    print(f"\nraw results written to {out}")
 
 
 if __name__ == "__main__":

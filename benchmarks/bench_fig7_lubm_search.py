@@ -90,47 +90,87 @@ def test_fig7_gcov_explores_fraction(benchmark):
     assert greedy.covers_explored < exhaustive.covers_explored / 2
 
 
-def main():
-    print(f"Figure 7 — optimizer search on {DATASET}")
+def search_main(bench_name: str, title: str, dataset: str, fresh_tools):
+    """Shared fig7/fig8 driver: per-(query, method) optimizer timings.
+
+    Each method — ECov/GCov search, UCQ/SCQ construction — becomes one
+    BENCH cell with a ``time_ms`` metric (infeasible/over-limit methods
+    keep the paper's missing-cell semantics as non-ok statuses).
+    """
+    import gc
+
+    from repro.bench import summarize
+    from repro.reformulation import ReformulationLimitExceeded
+
+    report = H.bench_report(bench_name, title)
+
+    def timed_cell(query_name, method, run):
+        labels = {"dataset": dataset, "query": query_name, "method": method}
+        start = time.perf_counter()
+        try:
+            info = run() or {}
+        except SearchInfeasible:
+            report.add_cell(labels, status="infeasible")
+            return "INF"
+        except ReformulationLimitExceeded:
+            report.add_cell(labels, status="failed")
+            return "LIM"
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        report.add_cell(
+            labels, metrics={"time_ms": summarize([elapsed_ms])}, info=info
+        )
+        return f"{elapsed_ms:.0f}"
+
+    print(title)
     print(
         f"{'query':8}{'ECov covers':>12}{'GCov covers':>12}"
         f"{'ECov (ms)':>12}{'GCov (ms)':>12}{'UCQ build':>12}{'SCQ build':>12}"
     )
-    for entry in H.workload(DATASET):
+    for entry in H.workload(dataset):
         query = entry.query
-        reformulator, model = _fresh_tools()
-        start = time.perf_counter()
-        try:
-            exhaustive = ecov(query, reformulator, model.cost, max_covers=20_000)
-            ecov_cell = f"{(time.perf_counter() - start) * 1000:.0f}"
-            ecov_covers = str(exhaustive.covers_explored)
-        except SearchInfeasible:
-            ecov_cell, ecov_covers = "INF", "INF"
-        reformulator2, model2 = _fresh_tools()
-        start = time.perf_counter()
-        greedy = gcov(query, reformulator2, model2.cost)
-        gcov_ms = (time.perf_counter() - start) * 1000
-        from repro.reformulation import ReformulationLimitExceeded
+        covers = {}
 
-        reformulator3, _ = _fresh_tools()
-        start = time.perf_counter()
-        try:
-            ucq_reformulation(query, reformulator3)
-            ucq_cell = f"{(time.perf_counter() - start) * 1000:.0f}"
-        except ReformulationLimitExceeded:
-            ucq_cell = "LIM"
-        reformulator4, _ = _fresh_tools()
-        start = time.perf_counter()
-        scq_reformulation(query, reformulator4)
-        scq_ms = (time.perf_counter() - start) * 1000
+        def run_ecov():
+            reformulator, model = fresh_tools()
+            result = ecov(query, reformulator, model.cost, max_covers=20_000)
+            covers["ecov"] = result.covers_explored
+            return {"covers_explored": result.covers_explored}
+
+        def run_gcov():
+            reformulator, model = fresh_tools()
+            result = gcov(query, reformulator, model.cost)
+            covers["gcov"] = result.covers_explored
+            return {"covers_explored": result.covers_explored}
+
+        def run_ucq():
+            reformulator, _ = fresh_tools()
+            return {"terms": len(ucq_reformulation(query, reformulator))}
+
+        def run_scq():
+            reformulator, _ = fresh_tools()
+            scq_reformulation(query, reformulator)
+
+        ecov_cell = timed_cell(entry.name, "ecov", run_ecov)
+        gcov_cell = timed_cell(entry.name, "gcov", run_gcov)
+        ucq_cell = timed_cell(entry.name, "ucq-build", run_ucq)
+        scq_cell = timed_cell(entry.name, "scq-build", run_scq)
         print(
-            f"{entry.name:8}{ecov_covers:>12}{greedy.covers_explored:>12}"
-            f"{ecov_cell:>12}{gcov_ms:>12.0f}{ucq_cell:>12}{scq_ms:>12.0f}"
+            f"{entry.name:8}{covers.get('ecov', 'INF')!s:>12}"
+            f"{covers.get('gcov', '-')!s:>12}"
+            f"{ecov_cell:>12}{gcov_cell:>12}{ucq_cell:>12}{scq_cell:>12}"
         )
-        del reformulator, reformulator2, reformulator3, reformulator4
-        import gc
-
         gc.collect()
+    report.write_text(H.results_dir() / f"{bench_name}.txt")
+    return report
+
+
+def main():
+    return search_main(
+        "fig7_lubm_search",
+        f"Figure 7 — optimizer search on {DATASET}",
+        DATASET,
+        _fresh_tools,
+    )
 
 
 if __name__ == "__main__":

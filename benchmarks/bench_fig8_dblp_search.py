@@ -8,14 +8,12 @@ times are on the huge-reformulation Q10.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 import _harness as H
 from repro.cost import CostModel
 from repro.optimizer import SearchInfeasible, ecov, gcov
-from repro.reformulation import Reformulator, scq_reformulation, ucq_reformulation
+from repro.reformulation import Reformulator
 
 DATASET = "dblp"
 QUERY_SUBSET = ("Q01", "Q06", "Q09", "Q10")
@@ -72,46 +70,14 @@ def test_fig8_ecov_infeasible_on_q10(benchmark):
 
 
 def main():
-    print(f"Figure 8 — optimizer search on {DATASET}")
-    print(
-        f"{'query':8}{'ECov covers':>12}{'GCov covers':>12}"
-        f"{'ECov (ms)':>12}{'GCov (ms)':>12}{'UCQ build':>12}{'SCQ build':>12}"
+    from bench_fig7_lubm_search import search_main
+
+    return search_main(
+        "fig8_dblp_search",
+        f"Figure 8 — optimizer search on {DATASET}",
+        DATASET,
+        _fresh_tools,
     )
-    for entry in H.workload(DATASET):
-        query = entry.query
-        reformulator, model = _fresh_tools()
-        start = time.perf_counter()
-        try:
-            exhaustive = ecov(query, reformulator, model.cost, max_covers=20_000)
-            ecov_cell = f"{(time.perf_counter() - start) * 1000:.0f}"
-            ecov_covers = str(exhaustive.covers_explored)
-        except SearchInfeasible:
-            ecov_cell, ecov_covers = "INF", "INF"
-        reformulator2, model2 = _fresh_tools()
-        start = time.perf_counter()
-        greedy = gcov(query, reformulator2, model2.cost)
-        gcov_ms = (time.perf_counter() - start) * 1000
-        from repro.reformulation import ReformulationLimitExceeded
-
-        reformulator3, _ = _fresh_tools()
-        start = time.perf_counter()
-        try:
-            ucq_reformulation(query, reformulator3)
-            ucq_cell = f"{(time.perf_counter() - start) * 1000:.0f}"
-        except ReformulationLimitExceeded:
-            ucq_cell = "LIM"
-        reformulator4, _ = _fresh_tools()
-        start = time.perf_counter()
-        scq_reformulation(query, reformulator4)
-        scq_ms = (time.perf_counter() - start) * 1000
-        print(
-            f"{entry.name:8}{ecov_covers:>12}{greedy.covers_explored:>12}"
-            f"{ecov_cell:>12}{gcov_ms:>12.0f}{ucq_cell:>12}{scq_ms:>12.0f}"
-        )
-        del reformulator, reformulator2, reformulator3, reformulator4
-        import gc
-
-        gc.collect()
 
 
 if __name__ == "__main__":

@@ -111,7 +111,9 @@ def _check(workers: int) -> int:
     return mismatches
 
 
-def main():
+def main(argv=None):
+    from repro.bench import summarize
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
     parser.add_argument(
@@ -124,12 +126,13 @@ def main():
         action="store_true",
         help="single timing pass per cell (no best-of-3)",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     if args.check:
         raise SystemExit(1 if _check(args.workers) else 0)
 
     rounds = 1 if args.quick else 3
     cores = os.cpu_count() or 1
+    report = H.bench_report("parallel", "Parallel JUCQ evaluation — serial vs pool")
     print(
         f"Parallel evaluation ({DATASET}, {STRATEGY}, "
         f"{args.workers} workers, {cores} CPUs)"
@@ -144,18 +147,29 @@ def main():
         times = {}
         for workers in (None, args.workers):
             _pass(engine_name, workers)  # warm plans, connections, SQL cache
-            best = float("inf")
+            samples_s = []
             for _ in range(rounds):
                 started = time.perf_counter()
                 _pass(engine_name, workers)
-                best = min(best, time.perf_counter() - started)
-            times[workers] = best
+                samples_s.append(time.perf_counter() - started)
+            times[workers] = min(samples_s)
+            report.add_cell(
+                {
+                    "dataset": DATASET,
+                    "engine": engine_name,
+                    "mode": "serial" if workers is None else "parallel",
+                },
+                metrics={"evaluate_ms": summarize(s * 1000 for s in samples_s)},
+                info={"workers": workers or 1, "cpus": cores},
+            )
         serial, parallel = times[None], times[args.workers]
         speedup = serial / parallel if parallel > 0 else float("inf")
         print(
             f"{engine_name:14}{serial * 1000:>12.1f}"
             f"{parallel * 1000:>13.1f}{speedup:>8.2f}x"
         )
+    report.write_text(H.results_dir() / "parallel.txt")
+    return report
 
 
 if __name__ == "__main__":

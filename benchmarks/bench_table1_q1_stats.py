@@ -62,12 +62,23 @@ def test_table1_shape(benchmark):
 
 
 def main():
+    report = H.bench_report("table1_q1_stats", "Table 1 — characteristics of q1")
     print("Table 1 — characteristics of q1 (dataset: %s, %d triples)" % (
         DATASET, len(H.database(DATASET))))
     print(f"{'triple':8}{'#answers':>12}{'#reformulations':>18}{'#after reform.':>16}")
     for index in range(3):
         answers, reforms, after = _triple_stats(index)
         print(f"t{index + 1:<7}{answers:>12}{reforms:>18}{after:>16}")
+        report.add_cell(
+            {"dataset": DATASET, "query": "q1", "triple": f"t{index + 1}"},
+            info={
+                "answers": answers,
+                "reformulations": reforms,
+                "after_reformulation": after,
+            },
+        )
+    report.write_text(H.results_dir() / "table1_q1_stats.txt")
+    return report
 
 
 if __name__ == "__main__":

@@ -53,11 +53,22 @@ def test_table3_shape(benchmark):
 
 
 def main():
+    report = H.bench_report("table3_q2_stats", "Table 3 — characteristics of q2")
     print("Table 3 — characteristics of q2 (dataset: %s)" % DATASET)
     print(f"{'triple':8}{'#answers':>12}{'#reformulations':>18}{'#after reform.':>16}")
     for index in range(6):
         answers, reforms, after = _triple_stats(index)
         print(f"t{index + 1:<7}{answers:>12}{reforms:>18}{after:>16}")
+        report.add_cell(
+            {"dataset": DATASET, "query": "q2", "triple": f"t{index + 1}"},
+            info={
+                "answers": answers,
+                "reformulations": reforms,
+                "after_reformulation": after,
+            },
+        )
+    report.write_text(H.results_dir() / "table3_q2_stats.txt")
+    return report
 
 
 if __name__ == "__main__":

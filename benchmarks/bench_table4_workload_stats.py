@@ -69,12 +69,26 @@ def test_table4_variety(benchmark):
 
 
 def main():
+    report = H.bench_report(
+        "table4_workload_stats", "Table 4 — workload characteristics"
+    )
     for dataset, names in (("lubm-small", _LUBM_NAMES), ("dblp", _DBLP_NAMES)):
         print(f"\nTable 4 — {dataset} ({len(H.database(dataset))} triples)")
         print(f"{'query':8}{'|q_ref|':>10}{'answers (gcov)':>16}")
         for name in names:
             terms, answers = _row(dataset, name)
             print(f"{name:8}{terms:>10}{answers!s:>16}")
+            ok = isinstance(answers, int)
+            report.add_cell(
+                {"dataset": dataset, "query": name},
+                status="ok" if ok else str(answers),
+                info={
+                    "q_ref_terms": terms,
+                    "answers": answers if ok else "",
+                },
+            )
+    report.write_text(H.results_dir() / "table4_workload_stats.txt")
+    return report
 
 
 if __name__ == "__main__":

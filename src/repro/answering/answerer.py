@@ -65,6 +65,8 @@ from ..telemetry import (
     AccuracyRecord,
     AccuracyRecorder,
     MetricsRecorder,
+    MetricsRegistry,
+    get_registry,
     trajectory,
 )
 
@@ -164,6 +166,7 @@ class QueryAnswerer:
         fallback: Optional[FallbackPolicy] = None,
         workers: Optional[int] = None,
         pool: Optional[WorkerPool] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.database = database
         self.engine = engine if engine is not None else NativeEngine(database)
@@ -223,6 +226,72 @@ class QueryAnswerer:
         #: default breaker) against duplicate construction when
         #: concurrent callers share one answerer.
         self._lock = threading.Lock()
+        #: Process-lifetime instrument registry (DESIGN.md §12): answer
+        #: latency histograms plus runtime-state gauges.  Defaults to
+        #: the process-wide registry so ``repro metrics-export`` (and a
+        #: future ``/metrics`` endpoint) sees this answerer.
+        self.registry = registry if registry is not None else get_registry()
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
+        """Register runtime-state gauges on the instrument registry.
+
+        Registration is replace-by-name: the most recently built
+        answerer owns the gauge names (the common case is exactly one
+        long-lived answerer per process).  Callbacks read live state at
+        export time, so the gauges are always current — including the
+        circuit breaker, which reports all-zero counts until its lazy
+        construction.
+        """
+        registry = self.registry
+        registry.register_gauge(
+            "repro.reformulator.memo_size",
+            lambda: len(self.reformulator.cache),
+            help="entries in the reformulator's CQ->UCQ memo",
+        )
+        registry.register_gauge(
+            "repro.worker_pool.max_workers",
+            lambda: 0 if self.pool is None else self.pool.max_workers,
+            help="configured worker-pool width (0 = serial answerer)",
+        )
+        registry.register_gauge(
+            "repro.worker_pool.in_flight",
+            lambda: 0 if self.pool is None else self.pool.in_flight(),
+            help="worker-pool tasks submitted but not yet finished",
+        )
+        pool_size = getattr(self.engine, "pool_size", None)
+        registry.register_gauge(
+            "repro.engine.connection_pool_size",
+            (lambda: 0) if pool_size is None else pool_size,
+            labels={"engine": getattr(self.engine, "name", type(self.engine).__name__)},
+            help="open per-thread engine connections (SQLite pool)",
+        )
+        registry.register_multi_gauge(
+            "repro.cache.size",
+            "level",
+            lambda: (
+                {}
+                if self.cache is None
+                else {name: len(c) for name, c in self.cache.levels.items()}
+            ),
+            help="entries per query-cache level",
+        )
+        registry.register_multi_gauge(
+            "repro.breaker.circuits",
+            "state",
+            lambda: (
+                {"closed": 0, "open": 0, "half-open": 0}
+                if self._breaker is None
+                else self._breaker.state_counts()
+            ),
+            help="tracked fallback circuits by state",
+        )
+        # Counter keys already carry the "resilience." prefix, so this
+        # exports e.g. ``repro.resilience.attempts``.
+        registry.register_counters(
+            "repro",
+            lambda: self.resilience_metrics.as_dict()["counters"],
+        )
 
     # ------------------------------------------------------------------
     # Planning
@@ -509,6 +578,16 @@ class QueryAnswerer:
                 eval_span.set(answers=len(answers))
             evaluation_s = time.perf_counter() - start
             root.set(answers=len(answers))
+        self.registry.histogram(
+            "repro.answer.optimize_seconds",
+            labels={"strategy": strategy},
+            help="per-answer optimization (planning) time",
+        ).observe(optimization_s)
+        self.registry.histogram(
+            "repro.answer.evaluate_seconds",
+            labels={"strategy": strategy},
+            help="per-answer evaluation time",
+        ).observe(evaluation_s)
         if counters_before is not None:
             # Export this call's cache activity as metric deltas
             # (cache.<level>.<hits|misses|evictions|invalidations>).
@@ -629,6 +708,11 @@ class QueryAnswerer:
                         )
                     except RECOVERABLE as error:
                         elapsed = time.perf_counter() - started
+                        self.registry.histogram(
+                            "repro.fallback.attempt_seconds",
+                            labels={"outcome": "error"},
+                            help="per-rung attempt time inside the fallback ladder",
+                        ).observe(elapsed)
                         transient = is_transient(error)
                         attempts.append(
                             AttemptRecord(
@@ -657,12 +741,18 @@ class QueryAnswerer:
                         break  # permanent (or retries spent): next rung
                     else:
                         breaker.record_success(key)
+                        attempt_s = time.perf_counter() - started
+                        self.registry.histogram(
+                            "repro.fallback.attempt_seconds",
+                            labels={"outcome": "ok"},
+                            help="per-rung attempt time inside the fallback ladder",
+                        ).observe(attempt_s)
                         attempts.append(
                             AttemptRecord(
                                 rung,
                                 "ok",
                                 retry=retry,
-                                elapsed_s=time.perf_counter() - started,
+                                elapsed_s=attempt_s,
                             )
                         )
                         degraded = rung != requested or len(attempts) > 1

@@ -1,0 +1,50 @@
+"""Structured benchmark reporting and regression gating (DESIGN.md §12).
+
+:mod:`repro.bench.report` turns benchmark measurements into
+schema-versioned ``BENCH_*.json`` documents (and the matching text
+tables under ``benchmarks/results/``); :mod:`repro.bench.diff`
+compares two such documents with per-metric noise thresholds — the
+``repro bench-diff`` regression gate.
+"""
+
+from .diff import (
+    DEFAULT_MAX_RATIO,
+    DEFAULT_MIN_ABS,
+    Delta,
+    DiffResult,
+    classify,
+    diff_documents,
+    format_diff,
+)
+from .report import (
+    BENCH_SCHEMA_VERSION,
+    BenchReport,
+    central,
+    combine,
+    environment,
+    git_sha,
+    load_document,
+    repro_env,
+    summarize,
+    write_combined,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchReport",
+    "DEFAULT_MAX_RATIO",
+    "DEFAULT_MIN_ABS",
+    "Delta",
+    "DiffResult",
+    "central",
+    "classify",
+    "combine",
+    "diff_documents",
+    "environment",
+    "format_diff",
+    "git_sha",
+    "load_document",
+    "repro_env",
+    "summarize",
+    "write_combined",
+]

@@ -1,0 +1,198 @@
+"""``repro bench-diff`` — classify two BENCH documents' deltas.
+
+Two runs of the same benchmark never produce identical timings, so a
+naive old-vs-new comparison would flag noise as regressions.  The diff
+therefore applies *two* thresholds per metric, both of which must be
+exceeded before a slowdown counts:
+
+* ``max_ratio`` — the new central value must be more than
+  ``max_ratio`` × the old one (relative noise gate; default 1.5×), and
+* ``min_abs`` — the delta must exceed ``min_abs`` in the metric's own
+  unit (absolute noise gate; default 1.0, i.e. one millisecond for the
+  ``*_ms`` metrics), so microsecond-scale cells cannot regress on
+  ratio alone.
+
+Improvements mirror the same gates in the other direction; everything
+inside the gates is *neutral*.  Status flips are always significant: a
+cell that was ``ok`` and now fails (or times out) is a regression
+regardless of timing, and a newly-ok cell is an improvement.  Cells
+present on only one side are reported as added/removed, never as
+regressions — scale or workload changes shouldn't fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .report import central
+
+#: Relative noise gate: new must exceed old by this factor.
+DEFAULT_MAX_RATIO = 1.5
+#: Absolute noise gate, in the metric's own unit (ms for ``*_ms``).
+DEFAULT_MIN_ABS = 1.0
+
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+NEUTRAL = "neutral"
+
+#: Cell key: (bench name, sorted label items).
+CellKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+@dataclass
+class Delta:
+    """One classified old-vs-new comparison (metric or status)."""
+
+    bench: str
+    labels: Dict[str, str]
+    metric: str  # metric name, or "status" for a status flip
+    old: Any
+    new: Any
+    kind: str  # regression | improvement | neutral
+
+    @property
+    def ratio(self) -> Optional[float]:
+        old = central(self.old)
+        new = central(self.new)
+        if old is None or new is None or old <= 0:
+            return None
+        return new / old
+
+    def format(self) -> str:
+        where = " ".join(f"{k}={v}" for k, v in self.labels.items())
+        if self.metric == "status":
+            return f"[{self.kind}] {self.bench}: {where} status {self.old} -> {self.new}"
+        ratio = self.ratio
+        ratio_text = f" ({ratio:.2f}x)" if ratio is not None else ""
+        return (
+            f"[{self.kind}] {self.bench}: {where} {self.metric} "
+            f"{central(self.old):.3f} -> {central(self.new):.3f}{ratio_text}"
+        )
+
+
+@dataclass
+class DiffResult:
+    """Every classified delta plus the cells only one side has."""
+
+    deltas: List[Delta] = field(default_factory=list)
+    added: List[CellKey] = field(default_factory=list)
+    removed: List[CellKey] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[Delta]:
+        return [delta for delta in self.deltas if delta.kind == kind]
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return self.of_kind(REGRESSION)
+
+    @property
+    def improvements(self) -> List[Delta]:
+        return self.of_kind(IMPROVEMENT)
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+
+def classify(
+    old: float,
+    new: float,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    min_abs: float = DEFAULT_MIN_ABS,
+) -> str:
+    """Regression/improvement/neutral for one pair of central values."""
+    if new > old * max_ratio and (new - old) > min_abs:
+        return REGRESSION
+    if old > new * max_ratio and (old - new) > min_abs:
+        return IMPROVEMENT
+    return NEUTRAL
+
+
+def _index(document: Dict[str, Any]) -> Dict[CellKey, Dict[str, Any]]:
+    cells: Dict[CellKey, Dict[str, Any]] = {}
+    for bench in document.get("benches", []):
+        name = bench.get("name", "?")
+        for cell in bench.get("cells", []):
+            key = (name, tuple(sorted(cell.get("labels", {}).items())))
+            cells[key] = cell
+    return cells
+
+
+def diff_documents(
+    old_document: Dict[str, Any],
+    new_document: Dict[str, Any],
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    min_abs: float = DEFAULT_MIN_ABS,
+    metrics: Optional[Sequence[str]] = None,
+) -> DiffResult:
+    """Compare two BENCH documents cell-by-cell, metric-by-metric.
+
+    ``metrics`` restricts the comparison to the named metrics (default:
+    every metric the two sides share).
+    """
+    old_cells = _index(old_document)
+    new_cells = _index(new_document)
+    result = DiffResult(
+        added=sorted(set(new_cells) - set(old_cells)),
+        removed=sorted(set(old_cells) - set(new_cells)),
+    )
+    for key in sorted(set(old_cells) & set(new_cells)):
+        bench, label_items = key
+        labels = dict(label_items)
+        old_cell, new_cell = old_cells[key], new_cells[key]
+        old_status = old_cell.get("status", "ok")
+        new_status = new_cell.get("status", "ok")
+        if old_status != new_status:
+            if new_status != "ok" and old_status == "ok":
+                kind = REGRESSION
+            elif new_status == "ok" and old_status != "ok":
+                kind = IMPROVEMENT
+            else:
+                kind = NEUTRAL  # one failure kind became another
+            result.deltas.append(
+                Delta(bench, labels, "status", old_status, new_status, kind)
+            )
+            continue  # timings of unlike/failed runs aren't comparable
+        if new_status != "ok":
+            continue
+        shared = set(old_cell.get("metrics", {})) & set(new_cell.get("metrics", {}))
+        if metrics is not None:
+            shared &= set(metrics)
+        for metric in sorted(shared):
+            old_metric = old_cell["metrics"][metric]
+            new_metric = new_cell["metrics"][metric]
+            old_value = central(old_metric)
+            new_value = central(new_metric)
+            if old_value is None or new_value is None:
+                continue
+            kind = classify(old_value, new_value, max_ratio, min_abs)
+            result.deltas.append(
+                Delta(bench, labels, metric, old_metric, new_metric, kind)
+            )
+    return result
+
+
+def format_diff(result: DiffResult, verbose: bool = False) -> str:
+    """Human summary: every regression/improvement, counts for the rest."""
+    lines: List[str] = []
+    for delta in result.regressions:
+        lines.append(delta.format())
+    for delta in result.improvements:
+        lines.append(delta.format())
+    if verbose:
+        for delta in result.of_kind(NEUTRAL):
+            lines.append(delta.format())
+    for bench, label_items in result.added:
+        where = " ".join(f"{k}={v}" for k, v in label_items)
+        lines.append(f"[added] {bench}: {where}")
+    for bench, label_items in result.removed:
+        where = " ".join(f"{k}={v}" for k, v in label_items)
+        lines.append(f"[removed] {bench}: {where}")
+    lines.append(
+        f"{len(result.regressions)} regressions, "
+        f"{len(result.improvements)} improvements, "
+        f"{len(result.of_kind(NEUTRAL))} neutral, "
+        f"{len(result.added)} added, {len(result.removed)} removed"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Structured benchmark results — the ``BENCH_*.json`` perf trajectory.
+
+Every benchmark in ``benchmarks/`` funnels its measurements through a
+:class:`BenchReport`: a named list of *cells*, one per measured
+configuration (e.g. query × strategy × engine), each carrying
+
+* ``labels`` — the configuration coordinates (all strings),
+* ``status`` — ``"ok"`` or a missing-bar kind (``failed``/``timeout``/
+  ``infeasible``),
+* ``metrics`` — numeric results; timing metrics are repeat
+  *distributions* (:func:`summarize`) so later runs can be compared
+  against noise rather than a single sample,
+* ``counters`` — operator/cache counter deltas attached to the run,
+* ``info`` — auxiliary scalars (answer counts, reformulation sizes).
+
+One report renders two ways from the same cells — the human text table
+written under ``benchmarks/results/`` and the JSON document aggregated
+by ``benchmarks/run_all.py`` into ``BENCH_<name>.json`` at the repo
+root — so the text and JSON outputs can never drift apart.  The JSON
+document is schema-versioned (:data:`BENCH_SCHEMA_VERSION`) and stamped
+with the git SHA, interpreter/platform, and the ``REPRO_*`` scale
+variables, which is what makes two documents comparable by
+``repro bench-diff`` (:mod:`repro.bench.diff`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+#: Version of the ``BENCH_*.json`` document layout.  Bump on any
+#: backward-incompatible change to the cell or document structure.
+BENCH_SCHEMA_VERSION = 1
+
+Number = Union[int, float]
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current commit's SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment() -> Dict[str, Any]:
+    """Interpreter/host facts that contextualize timing numbers."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def repro_env() -> Dict[str, str]:
+    """The ``REPRO_*`` variables in effect (dataset scales, timeouts)."""
+    return {
+        key: value for key, value in sorted(os.environ.items())
+        if key.startswith("REPRO_")
+    }
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sample list."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def summarize(values: Iterable[Number], unit: str = "ms") -> Dict[str, Any]:
+    """A repeat distribution: count/mean/min/max/p50 plus raw samples.
+
+    The raw samples are kept (rounded) so a future reader can recompute
+    any statistic; the derived fields make the common comparisons —
+    ``repro bench-diff`` reads ``p50`` — cheap and explicit.
+    """
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return {"unit": unit, "count": 0}
+    return {
+        "unit": unit,
+        "count": len(ordered),
+        "mean": round(sum(ordered) / len(ordered), 6),
+        "min": round(ordered[0], 6),
+        "max": round(ordered[-1], 6),
+        "p50": round(_percentile(ordered, 0.5), 6),
+        "values": [round(v, 6) for v in ordered],
+    }
+
+
+def central(metric: Any) -> Optional[float]:
+    """The comparable central value of a metric cell entry.
+
+    Plain numbers compare as themselves; :func:`summarize`
+    distributions compare by ``p50`` (falling back to ``mean``).
+    Anything else — including an empty distribution — is incomparable.
+    """
+    if isinstance(metric, bool):
+        return None
+    if isinstance(metric, (int, float)):
+        return float(metric)
+    if isinstance(metric, dict):
+        for key in ("p50", "mean"):
+            value = metric.get(key)
+            if isinstance(value, (int, float)):
+                return float(value)
+    return None
+
+
+class BenchReport:
+    """One benchmark's structured results (cells + provenance)."""
+
+    def __init__(
+        self,
+        name: str,
+        title: Optional[str] = None,
+        scales: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.title = title or name
+        self.scales = dict(scales or {})
+        self.cells: List[Dict[str, Any]] = []
+
+    def add_cell(
+        self,
+        labels: Dict[str, Any],
+        status: str = "ok",
+        metrics: Optional[Dict[str, Any]] = None,
+        counters: Optional[Dict[str, Number]] = None,
+        info: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Record one measured configuration; returns the cell dict."""
+        cell = {
+            "labels": {key: str(value) for key, value in labels.items()},
+            "status": status,
+            "metrics": dict(metrics or {}),
+            "counters": {k: v for k, v in (counters or {}).items()},
+            "info": dict(info or {}),
+        }
+        self.cells.append(cell)
+        return cell
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # ------------------------------------------------------------------
+    # Rendering (the single code path for text and JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "scales": self.scales,
+            "cells": self.cells,
+        }
+
+    def render_text(self) -> str:
+        """Greppable one-line-per-cell text form of the same cells."""
+        lines = [f"# bench: {self.name} (schema v{BENCH_SCHEMA_VERSION})"]
+        if self.title != self.name:
+            lines.append(f"# title: {self.title}")
+        if self.scales:
+            scales = " ".join(f"{k}={v}" for k, v in sorted(self.scales.items()))
+            lines.append(f"# scales: {scales}")
+        for cell in self.cells:
+            parts = [f"{k}={v}" for k, v in cell["labels"].items()]
+            parts.append(f"status={cell['status']}")
+            for key, metric in cell["metrics"].items():
+                value = central(metric)
+                if value is not None:
+                    parts.append(f"{key}={value:.3f}")
+            for key, value in cell["info"].items():
+                if value not in (None, ""):
+                    parts.append(f"{key}={value}")
+            lines.append(" ".join(parts))
+        return "\n".join(lines) + "\n"
+
+    def write_text(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.render_text())
+        return path
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        """This report alone, wrapped as a full BENCH document."""
+        return write_combined([self], self.name, path)
+
+
+# ----------------------------------------------------------------------
+# BENCH_<name>.json documents
+# ----------------------------------------------------------------------
+def combine(reports: Sequence[BenchReport], name: str) -> Dict[str, Any]:
+    """The schema-versioned document aggregating several reports."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "git_sha": git_sha(),
+        "env": environment(),
+        "repro_env": repro_env(),
+        "benches": [report.to_dict() for report in reports],
+    }
+
+
+def write_combined(
+    reports: Sequence[BenchReport], name: str, path: Union[str, Path]
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(combine(reports, name), indent=2) + "\n")
+    return path
+
+
+def load_document(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a ``BENCH_*.json`` document."""
+    with open(path, "r", encoding="utf-8") as source:
+        document = json.load(source)
+    version = document.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported BENCH schema version {version!r} "
+            f"(this build reads v{BENCH_SCHEMA_VERSION})"
+        )
+    if not isinstance(document.get("benches"), list):
+        raise ValueError(f"{path}: malformed BENCH document (no 'benches' list)")
+    return document

@@ -37,9 +37,18 @@ Commands
     the strategy-fallback ladder on, and compare every answer set
     against a clean saturation baseline; exits 3 on any mismatch.
 
+``metrics-export``
+    Answer a workload, then dump the process metrics registry
+    (DESIGN.md §12) — callback-sampled gauges and latency histograms
+    with quantiles — as Prometheus-style text or a JSON snapshot.
+
+``bench-diff``
+    Compare two ``BENCH_*.json`` perf-trajectory documents with
+    per-metric noise thresholds; exits 8 on any regression.
+
 Failures map to distinct exit codes instead of tracebacks: 2 usage /
 IR verification, 3 chaos mismatch, 4 timeout, 5 engine failure,
-6 planning infeasible, 7 resilience exhausted.
+6 planning infeasible, 7 resilience exhausted, 8 bench regression.
 
 Examples::
 
@@ -66,6 +75,13 @@ from typing import List, Optional
 from .analysis import IRVerificationError, Severity
 from .analysis.lint import lint_query, lint_text
 from .answering import STRATEGIES, QueryAnswerer
+from .bench import (
+    DEFAULT_MAX_RATIO,
+    DEFAULT_MIN_ABS,
+    diff_documents,
+    format_diff,
+    load_document,
+)
 from .cache import QueryCache
 from .datasets import DBLPGenerator, DBLPProfile, LUBMGenerator, dblp_schema, lubm_schema
 from .engine import EngineFailure, EngineTimeout, NativeEngine, SQLiteEngine, to_sql
@@ -82,7 +98,7 @@ from .resilience import (
     ResilienceError,
 )
 from .storage import RDFDatabase
-from .telemetry import Tracer
+from .telemetry import MetricsRegistry, Tracer, set_registry
 
 #: Exit codes for mapped failures (see module docstring).
 EXIT_CHAOS_MISMATCH = 3
@@ -90,6 +106,7 @@ EXIT_TIMEOUT = 4
 EXIT_ENGINE_FAILURE = 5
 EXIT_PLANNING = 6
 EXIT_RESILIENCE = 7
+EXIT_REGRESSION = 8
 
 #: SQLite's compile-time compound-select limit: the strictest statement
 #: limit among the engines, used as the lint's default for rule L109.
@@ -611,7 +628,23 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
             f"invalidations={stats['invalidations']:>3} "
             f"hit_rate={stats['hit_rate']:.2f}"
         )
+    _print_runtime_state(answerer)
     return 0
+
+
+def _print_runtime_state(answerer: QueryAnswerer) -> None:
+    """The live gauge readings of one answerer (DESIGN.md §12).
+
+    Covers the runtime occupancy the counters can't show: SQLite
+    connection-pool size, circuit-breaker circuits by state, the
+    reformulator memo, worker-pool width, and cache level fills.
+    """
+    print("\n== runtime state ==")
+    for sample in answerer.registry.gauge_samples():
+        labels = "".join(
+            f" {key}={value}" for key, value in sorted(sample["labels"].items())
+        )
+        print(f"  {sample['name']:<36}{labels} = {sample['value']:g}")
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -716,6 +749,90 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     for seed, name, error in unrecovered:
         print(f"UNRECOVERED seed={seed} query={name}: {error}", file=sys.stderr)
     return EXIT_CHAOS_MISMATCH if mismatches or unrecovered else 0
+
+
+def cmd_metrics_export(args: argparse.Namespace) -> int:
+    """``repro metrics-export``: run a workload, dump the registry.
+
+    Answers the given queries (or bundled workload) through a fresh
+    :class:`~repro.telemetry.MetricsRegistry` installed as the process
+    default — so the answerer's gauges *and* the engines' call-time
+    histograms all land in one place — then emits every instrument as
+    Prometheus-style text exposition or a JSON snapshot.
+    """
+    registry = MetricsRegistry()
+    set_registry(registry)
+    database = _load_database(args.data)
+    engine = (
+        SQLiteEngine(database) if args.engine == "sqlite" else NativeEngine(database)
+    )
+    answerer = QueryAnswerer(
+        database, engine=engine, cache=QueryCache(), registry=registry
+    )
+    answerer.reformulator.limit = args.limit
+    declarations = "".join(
+        f"PREFIX {declaration.partition('=')[0]}: "
+        f"<{declaration.partition('=')[2]}> "
+        for declaration in args.prefix
+    )
+    queries = [
+        (f"q{index + 1}", parse_query(declarations + text))
+        for index, text in enumerate(args.query or [])
+    ]
+    if args.workload:
+        from .datasets import dblp_workload, lubm_workload
+
+        entries = lubm_workload() if args.workload == "lubm" else dblp_workload()
+        queries.extend((entry.name, entry.query) for entry in entries)
+    if not queries:
+        print(
+            "metrics-export needs at least one -q QUERY or --workload",
+            file=sys.stderr,
+        )
+        return 2
+    answered = skipped = 0
+    for _ in range(max(1, args.repeat)):
+        for _name, query in queries:
+            try:
+                answerer.answer(query, strategy=args.strategy, timeout_s=args.timeout)
+                answered += 1
+            except (ReformulationLimitExceeded, SearchInfeasible, EngineFailure):
+                skipped += 1
+    if args.format == "json":
+        rendered = json.dumps(registry.snapshot(), indent=2) + "\n"
+    else:
+        rendered = registry.render_text()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as sink:
+            sink.write(rendered)
+    else:
+        sys.stdout.write(rendered)
+    print(f"# answered={answered} skipped={skipped}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    """``repro bench-diff``: regression-gate two BENCH documents.
+
+    Exits :data:`EXIT_REGRESSION` when any metric worsens past both
+    noise thresholds (or an ok cell starts failing); improvements and
+    in-threshold drift exit 0.
+    """
+    try:
+        old_document = load_document(args.old)
+        new_document = load_document(args.new)
+    except (OSError, ValueError) as error:
+        print(f"repro: bench-diff: {error}", file=sys.stderr)
+        return 2
+    result = diff_documents(
+        old_document,
+        new_document,
+        max_ratio=args.max_ratio,
+        min_abs=args.min_abs,
+        metrics=args.metric or None,
+    )
+    print(format_diff(result, verbose=args.verbose))
+    return EXIT_REGRESSION if result.has_regressions else 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -879,6 +996,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip queries whose reformulation exceeds this many union terms",
     )
     cache_stats.set_defaults(handler=cmd_cache_stats)
+
+    metrics_export = commands.add_parser(
+        "metrics-export",
+        help="answer a workload, then dump the metrics registry (DESIGN.md §12)",
+    )
+    metrics_export.add_argument("data", help="N-Triples file (constraints + facts)")
+    metrics_export.add_argument(
+        "-q", "--query", action="append", default=[], help="SPARQL BGP text (repeatable)"
+    )
+    metrics_export.add_argument(
+        "--prefix",
+        action="append",
+        default=[],
+        metavar="NAME=IRI",
+        help="extra prefix declaration (repeatable)",
+    )
+    metrics_export.add_argument(
+        "--workload",
+        choices=("lubm", "dblp"),
+        help="answer a bundled benchmark workload",
+    )
+    metrics_export.add_argument(
+        "--strategy", choices=STRATEGIES, default="gcov", help="answering strategy"
+    )
+    metrics_export.add_argument(
+        "--engine",
+        choices=("native", "sqlite"),
+        default="native",
+        help="evaluation engine",
+    )
+    metrics_export.add_argument(
+        "--repeat", type=int, default=1, metavar="N", help="answering passes"
+    )
+    metrics_export.add_argument("--timeout", type=float, default=None, help="seconds")
+    metrics_export.add_argument(
+        "--limit",
+        type=int,
+        default=20_000,
+        metavar="TERMS",
+        help="skip queries whose reformulation exceeds this many union terms",
+    )
+    metrics_export.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="Prometheus-style text exposition or a JSON snapshot",
+    )
+    metrics_export.add_argument(
+        "-o", "--output", help="write the export to a file (default stdout)"
+    )
+    metrics_export.set_defaults(handler=cmd_metrics_export)
+
+    bench_diff = commands.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json documents; exit 8 on regression",
+    )
+    bench_diff.add_argument("old", help="baseline BENCH_*.json")
+    bench_diff.add_argument("new", help="candidate BENCH_*.json")
+    bench_diff.add_argument(
+        "--max-ratio",
+        type=float,
+        default=DEFAULT_MAX_RATIO,
+        help=f"relative noise gate (default {DEFAULT_MAX_RATIO}x)",
+    )
+    bench_diff.add_argument(
+        "--min-abs",
+        type=float,
+        default=DEFAULT_MIN_ABS,
+        help="absolute noise gate in the metric's unit "
+        f"(default {DEFAULT_MIN_ABS}, i.e. 1 ms for *_ms metrics)",
+    )
+    bench_diff.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        help="restrict the comparison to this metric (repeatable)",
+    )
+    bench_diff.add_argument(
+        "--verbose", action="store_true", help="also list neutral deltas"
+    )
+    bench_diff.set_defaults(handler=cmd_bench_diff)
 
     chaos = commands.add_parser(
         "chaos", help="differential fault-injection run (DESIGN.md §10)"

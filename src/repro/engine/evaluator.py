@@ -34,6 +34,7 @@ from ..query.bgp import BGPQuery
 from ..rdf.terms import Term, Variable
 from ..storage.database import RDFDatabase
 from ..telemetry.metrics import MetricsRecorder
+from ..telemetry.registry import get_registry
 from ..telemetry.tracer import NULL_TRACER
 from .operators import cross_product, distinct, hash_join, merge_join, scan_atom, union_all
 from .relation import Relation
@@ -175,12 +176,21 @@ class NativeEngine:
         budget=None,
     ) -> AnswerSet:
         """Evaluate and decode: a set of tuples of RDF terms."""
+        started = time.perf_counter()
         relation = self.evaluate_relation(
             query, timeout_s=timeout_s, tracer=tracer, metrics=metrics,
             budget=budget,
         )
         decode = self.database.dictionary.decode
-        return frozenset(tuple(decode(v) for v in row) for row in relation.to_tuples())
+        answers = frozenset(
+            tuple(decode(v) for v in row) for row in relation.to_tuples()
+        )
+        get_registry().histogram(
+            "repro.engine.evaluate_seconds",
+            labels={"engine": self.name},
+            help="wall-clock time of one engine-level evaluation",
+        ).observe(time.perf_counter() - started)
+        return answers
 
     def evaluate_relation(
         self,

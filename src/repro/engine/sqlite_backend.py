@@ -39,6 +39,7 @@ from typing import List, Optional
 from ..cache.lru import MISSING, LRUCache
 from ..storage.database import RDFDatabase
 from ..telemetry.metrics import MetricsRecorder
+from ..telemetry.registry import get_registry
 from ..telemetry.tracer import NULL_TRACER
 from .evaluator import AnswerSet, EngineFailure, EngineTimeout
 from .sql import to_sql
@@ -199,13 +200,19 @@ class SQLiteEngine:
         ``timeout_s`` and additionally caps the fetched result size.
         """
         tracer = NULL_TRACER if tracer is None else tracer
+        started = time.perf_counter()
         with tracer.span("sqlite.compile") as span:
             hits_before = self.sql_cache.hits
             sql = self._compile(query)
             span.set(sql_chars=len(sql), cached=self.sql_cache.hits > hits_before)
         with tracer.span("sqlite.execute", sql_chars=len(sql)) as span:
+            execute_started = time.perf_counter()
             rows = self.execute_sql(sql, timeout_s, budget=budget)
             span.set(rows=len(rows))
+        get_registry().histogram(
+            "repro.sqlite.execute_seconds",
+            help="wall-clock time of one executed SQLite statement",
+        ).observe(time.perf_counter() - execute_started)
         if metrics is not None:
             metrics.inc("sqlite.statements")
             metrics.inc("sqlite.sql_chars", len(sql))
@@ -219,9 +226,16 @@ class SQLiteEngine:
         if getattr(query, "arity", None) == 0:
             # Boolean query: the SQL emits a marker column instead of an
             # (invalid) empty select list.
-            return frozenset({()}) if rows else frozenset()
-        decode = self.database.dictionary.decode
-        return frozenset(tuple(decode(v) for v in row) for row in rows)
+            answers: AnswerSet = frozenset({()}) if rows else frozenset()
+        else:
+            decode = self.database.dictionary.decode
+            answers = frozenset(tuple(decode(v) for v in row) for row in rows)
+        get_registry().histogram(
+            "repro.engine.evaluate_seconds",
+            labels={"engine": self.name},
+            help="wall-clock time of one engine-level evaluation",
+        ).observe(time.perf_counter() - started)
+        return answers
 
     def count(self, query, timeout_s: Optional[float] = None) -> int:
         """Number of distinct answers."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import inspect
 import threading
+import time
 from concurrent.futures import as_completed
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -43,6 +44,7 @@ from ..query.algebra import JUCQ, UCQ, ucq_as_jucq
 from ..rdf.terms import Term, Variable
 from ..resilience.budget import ExecutionBudget
 from ..telemetry.metrics import MetricsRecorder
+from ..telemetry.registry import get_registry
 from ..telemetry.tracer import NULL_TRACER
 from .pool import WorkerPool, current_worker
 
@@ -419,8 +421,13 @@ def _run_batch(
         terms=len(ucq),
         worker=current_worker(),
     ) as span:
+        started = time.perf_counter()
         answers = engine.evaluate(ucq, **kwargs)
         span.set(rows=len(answers))
+    get_registry().histogram(
+        "repro.parallel.batch_seconds",
+        help="wall-clock time of one worker-pool batch evaluation",
+    ).observe(time.perf_counter() - started)
     return index, answers
 
 

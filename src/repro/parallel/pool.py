@@ -55,6 +55,7 @@ class WorkerPool:
         self._executor: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self._shut_down = False
+        self._in_flight = 0
 
     @property
     def started(self) -> bool:
@@ -74,7 +75,20 @@ class WorkerPool:
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         """Schedule ``fn(*args, **kwargs)`` on a pool worker."""
-        return self._ensure_executor().submit(fn, *args, **kwargs)
+        future = self._ensure_executor().submit(fn, *args, **kwargs)
+        with self._lock:
+            self._in_flight += 1
+        future.add_done_callback(self._task_done)
+        return future
+
+    def _task_done(self, _future: Future) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    def in_flight(self) -> int:
+        """Tasks submitted but not yet finished (the occupancy gauge)."""
+        with self._lock:
+            return self._in_flight
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work and (optionally) wait for the workers."""

@@ -177,6 +177,18 @@ class CircuitBreaker:
             return HALF_OPEN
         return OPEN
 
+    def state_counts(self) -> Dict[str, int]:
+        """Tracked circuits by current state (the runtime-state gauge).
+
+        Always reports all three states (zeros included), so gauges and
+        status output have a stable shape even before any failure.
+        """
+        counts = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+        with self._lock:
+            for key in list(self.storage.keys()):
+                counts[self.state(key)] += 1
+        return counts
+
 
 @dataclass
 class FallbackPolicy:

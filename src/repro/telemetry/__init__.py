@@ -9,24 +9,43 @@ Four pieces (see DESIGN.md §7 for the span and counter taxonomy):
 * :mod:`.accuracy` — predicted-vs-observed (cost, cardinality) samples
   with q-error ratios;
 * :mod:`.search_trace` — the GCov/ECov exploration trajectory in
-  JSON-friendly form.
+  JSON-friendly form;
+* :mod:`.registry` — process-lifetime typed instruments (gauges,
+  latency histograms, counter sources) with Prometheus-style text and
+  JSON exposition (DESIGN.md §12).
 """
 
 from .accuracy import AccuracyRecord, AccuracyRecorder, q_error
 from .metrics import MetricsRecorder
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MultiGauge,
+    get_registry,
+    set_registry,
+)
 from .search_trace import best_cost_trajectory, cover_fragments, trajectory
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "AccuracyRecord",
     "AccuracyRecorder",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
     "MetricsRecorder",
+    "MetricsRegistry",
+    "MultiGauge",
     "NULL_TRACER",
     "NullTracer",
     "Span",
     "Tracer",
     "best_cost_trajectory",
     "cover_fragments",
+    "get_registry",
     "q_error",
+    "set_registry",
     "trajectory",
 ]

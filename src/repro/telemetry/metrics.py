@@ -62,8 +62,15 @@ class MetricsRecorder:
     # Reading
     # ------------------------------------------------------------------
     def get(self, name: str, default: int = 0) -> int:
-        """Current value of a counter."""
-        return self.counters.get(name, default)
+        """Current value of a counter.
+
+        Locked like every other accessor: a bare dict ``.get`` is atomic
+        in CPython, but reading unlocked while ``merge`` folds another
+        recorder in would let a torn sequence of increments show up —
+        consistency here matches ``as_dict``/``merge``.
+        """
+        with self._lock:
+            return self.counters.get(name, default)
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict snapshot: ``{"counters": {...}, "series": {...}}``."""

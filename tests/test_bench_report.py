@@ -1,0 +1,243 @@
+"""Tests for the BENCH_*.json perf-trajectory documents (DESIGN.md §12).
+
+Covers the report schema and summarize() math, document round-trips,
+the diff classifier's noise gates and status-flip rules, and the
+``repro bench-diff`` CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_MAX_RATIO,
+    DEFAULT_MIN_ABS,
+    BenchReport,
+    central,
+    classify,
+    combine,
+    diff_documents,
+    format_diff,
+    load_document,
+    summarize,
+    write_combined,
+)
+from repro.cli import EXIT_REGRESSION, main
+
+
+# ----------------------------------------------------------------------
+# summarize() / central()
+# ----------------------------------------------------------------------
+class TestSummarize:
+    def test_distribution_fields(self):
+        dist = summarize([3.0, 1.0, 2.0])
+        assert dist["count"] == 3
+        assert dist["min"] == 1.0
+        assert dist["max"] == 3.0
+        assert dist["mean"] == 2.0
+        assert dist["p50"] == 2.0
+        assert dist["values"] == [1.0, 2.0, 3.0]  # stored ascending
+        assert dist["unit"] == "ms"
+
+    def test_p50_interpolates_even_counts(self):
+        assert summarize([1.0, 2.0, 3.0, 4.0])["p50"] == 2.5
+
+    def test_empty_distribution(self):
+        assert summarize([]) == {"unit": "ms", "count": 0}
+
+    def test_central_reads_p50_then_mean_then_number(self):
+        assert central({"p50": 7.0, "mean": 9.0}) == 7.0
+        assert central({"mean": 9.0}) == 9.0
+        assert central(4) == 4.0
+        assert central(True) is None  # bools aren't timings
+        assert central({"unit": "ms", "count": 0}) is None
+        assert central("fast") is None
+
+
+# ----------------------------------------------------------------------
+# BenchReport + documents
+# ----------------------------------------------------------------------
+def small_report(p50_ms: float = 10.0, status: str = "ok") -> BenchReport:
+    report = BenchReport("b", title="B", scales={"universities": 1})
+    report.add_cell(
+        {"query": "q1", "strategy": "gcov"},
+        status=status,
+        metrics={"evaluation_ms": summarize([p50_ms])},
+        counters={"rows": 5},
+        info={"answers": 12},
+    )
+    return report
+
+
+class TestBenchReport:
+    def test_labels_are_stringified(self):
+        report = BenchReport("b")
+        cell = report.add_cell({"workers": 4})
+        assert cell["labels"] == {"workers": "4"}
+
+    def test_document_schema(self):
+        document = combine([small_report()], "smoke")
+        assert document["schema_version"] == BENCH_SCHEMA_VERSION
+        assert {"name", "created_unix", "git_sha", "env", "repro_env"} <= set(
+            document
+        )
+        assert document["env"]["python"]
+        (bench,) = document["benches"]
+        assert bench["scales"] == {"universities": 1}
+        (cell,) = bench["cells"]
+        assert set(cell) == {"labels", "status", "metrics", "counters", "info"}
+
+    def test_render_text(self):
+        text = small_report().render_text()
+        assert text.startswith(f"# bench: b (schema v{BENCH_SCHEMA_VERSION})\n")
+        assert "# title: B" in text
+        assert "# scales: universities=1" in text
+        assert "query=q1 strategy=gcov status=ok evaluation_ms=10.000 answers=12" in text
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_combined([small_report()], "x", path)
+        document = load_document(path)
+        assert document["name"] == "x"
+        assert json.dumps(document)  # stays plain JSON
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99, "benches": []}))
+        with pytest.raises(ValueError, match="schema version"):
+            load_document(path)
+
+    def test_load_rejects_missing_benches(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": BENCH_SCHEMA_VERSION}))
+        with pytest.raises(ValueError, match="benches"):
+            load_document(path)
+
+
+# ----------------------------------------------------------------------
+# Diff classification
+# ----------------------------------------------------------------------
+class TestClassify:
+    def test_both_gates_must_trip_for_regression(self):
+        assert classify(10.0, 25.0) == "regression"  # 2.5x and +15ms
+        assert classify(10.0, 12.0) == "neutral"  # ratio gate holds
+        assert classify(0.1, 0.9) == "neutral"  # abs gate holds (sub-ms)
+        assert classify(0.1, 5.0) == "regression"  # both gates tripped
+
+    def test_improvement_mirrors_the_gates(self):
+        assert classify(25.0, 10.0) == "improvement"
+        assert classify(12.0, 10.0) == "neutral"
+
+    def test_custom_thresholds(self):
+        assert classify(10.0, 12.0, max_ratio=1.1, min_abs=0.5) == "regression"
+        assert classify(10.0, 25.0, max_ratio=3.0) == "neutral"
+
+
+class TestDiffDocuments:
+    def test_identical_documents_are_neutral(self):
+        document = combine([small_report()], "a")
+        result = diff_documents(document, document)
+        assert not result.has_regressions
+        assert not result.improvements
+        assert [d.kind for d in result.deltas] == ["neutral"]
+
+    def test_synthetic_slowdown_is_a_regression(self):
+        old = combine([small_report(10.0)], "a")
+        new = combine([small_report(20.0)], "a")
+        result = diff_documents(old, new)
+        (delta,) = result.regressions
+        assert delta.metric == "evaluation_ms"
+        assert delta.ratio == pytest.approx(2.0)
+        assert "2.00x" in delta.format()
+
+    def test_speedup_is_an_improvement(self):
+        old = combine([small_report(20.0)], "a")
+        new = combine([small_report(10.0)], "a")
+        assert [d.kind for d in diff_documents(old, new).deltas] == ["improvement"]
+
+    def test_status_flip_to_failed_is_a_regression(self):
+        old = combine([small_report(10.0)], "a")
+        new = combine([small_report(10.0, status="failed")], "a")
+        (delta,) = diff_documents(old, new).regressions
+        assert delta.metric == "status"
+        assert (delta.old, delta.new) == ("ok", "failed")
+
+    def test_status_flip_to_ok_is_an_improvement(self):
+        old = combine([small_report(10.0, status="timeout")], "a")
+        new = combine([small_report(10.0)], "a")
+        (delta,) = diff_documents(old, new).improvements
+        assert delta.metric == "status"
+
+    def test_added_and_removed_cells_never_regress(self):
+        old = combine([small_report()], "a")
+        extra = small_report()
+        extra.add_cell({"query": "q2", "strategy": "ucq"})
+        new = combine([extra], "a")
+        result = diff_documents(old, new)
+        assert not result.has_regressions
+        assert len(result.added) == 1
+        assert result.added[0][0] == "b"
+        assert not result.removed
+
+    def test_metric_filter(self):
+        report = BenchReport("b")
+        report.add_cell(
+            {"q": "1"},
+            metrics={"optimize_ms": 10.0, "evaluate_ms": 10.0},
+        )
+        slow = BenchReport("b")
+        slow.add_cell(
+            {"q": "1"},
+            metrics={"optimize_ms": 100.0, "evaluate_ms": 100.0},
+        )
+        old, new = combine([report], "a"), combine([slow], "a")
+        result = diff_documents(old, new, metrics=["optimize_ms"])
+        assert [d.metric for d in result.deltas] == ["optimize_ms"]
+
+    def test_format_diff_summary_line(self):
+        old = combine([small_report(10.0)], "a")
+        new = combine([small_report(40.0)], "a")
+        text = format_diff(diff_documents(old, new))
+        assert "[regression] b: query=q1 strategy=gcov evaluation_ms" in text
+        assert text.endswith("1 regressions, 0 improvements, 0 neutral, 0 added, 0 removed")
+
+    def test_default_thresholds_exported(self):
+        assert DEFAULT_MAX_RATIO == 1.5
+        assert DEFAULT_MIN_ABS == 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI: repro bench-diff
+# ----------------------------------------------------------------------
+class TestBenchDiffCli:
+    def write(self, tmp_path, name, p50_ms, status="ok"):
+        path = tmp_path / name
+        write_combined([small_report(p50_ms, status)], "cli", path)
+        return str(path)
+
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", 10.0)
+        new = self.write(tmp_path, "new.json", 10.0)
+        assert main(["bench-diff", old, new]) == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", 10.0)
+        new = self.write(tmp_path, "new.json", 25.0)
+        assert main(["bench-diff", old, new]) == EXIT_REGRESSION
+        assert "[regression]" in capsys.readouterr().out
+
+    def test_thresholds_can_waive_a_slowdown(self, tmp_path):
+        old = self.write(tmp_path, "old.json", 10.0)
+        new = self.write(tmp_path, "new.json", 25.0)
+        assert main(["bench-diff", old, new, "--max-ratio", "3.0"]) == 0
+
+    def test_bad_document_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 99, "benches": []}))
+        good = self.write(tmp_path, "good.json", 10.0)
+        assert main(["bench-diff", str(bad), good]) == 2
+        assert "schema version" in capsys.readouterr().err
