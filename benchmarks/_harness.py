@@ -64,6 +64,10 @@ LUBM_LARGE_UNIVERSITIES = int(os.environ.get("REPRO_LUBM_LARGE", "48"))
 DBLP_PUBLICATIONS = int(os.environ.get("REPRO_DBLP_PUBS", "12000"))
 EVAL_TIMEOUT_S = float(os.environ.get("REPRO_BENCH_TIMEOUT", "60"))
 BENCH_REPEATS = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "1")))
+#: ``REPRO_MINIMIZE=0`` turns the containment-based UCQ minimization
+#: pass off for the whole run — the "before" arm of a before/after
+#: BENCH pair (the explicit ``minimize=`` arguments still win).
+MINIMIZE_DEFAULT = os.environ.get("REPRO_MINIMIZE", "1") != "0"
 
 
 def scales() -> Dict[str, Any]:
@@ -74,6 +78,7 @@ def scales() -> Dict[str, Any]:
         "dblp_publications": DBLP_PUBLICATIONS,
         "timeout_s": EVAL_TIMEOUT_S,
         "repeats": BENCH_REPEATS,
+        "minimize": MINIMIZE_DEFAULT,
     }
 
 #: The three engine personalities of the study (the paper's "three
@@ -187,19 +192,29 @@ REFORMULATION_TERM_LIMIT = 50_000
 
 
 @lru_cache(maxsize=None)
-def reformulator(dataset: str) -> Reformulator:
-    """A shared memoizing reformulator per store."""
-    return Reformulator(database(dataset).schema, limit=REFORMULATION_TERM_LIMIT)
+def reformulator(dataset: str, minimize: Optional[bool] = None) -> Reformulator:
+    """A shared memoizing reformulator per store.
+
+    ``minimize=False`` turns the containment-based UCQ minimization
+    pass off — the ablation arm of the minimize-on/off bench cells.
+    """
+    return Reformulator(
+        database(dataset).schema,
+        limit=REFORMULATION_TERM_LIMIT,
+        minimize=MINIMIZE_DEFAULT if minimize is None else minimize,
+    )
 
 
 @lru_cache(maxsize=None)
-def answerer(dataset: str, engine_name: str) -> QueryAnswerer:
+def answerer(
+    dataset: str, engine_name: str, minimize: Optional[bool] = None
+) -> QueryAnswerer:
     """A ready QueryAnswerer wired with the calibrated cost model."""
     return QueryAnswerer(
         database(dataset),
         engine=engine(dataset, engine_name),
         cost_model=cost_model(dataset, engine_name),
-        reformulator=reformulator(dataset),
+        reformulator=reformulator(dataset, minimize),
         ecov_max_covers=20_000,
     )
 
@@ -320,6 +335,7 @@ def measure(
     cache: bool = False,
     workers: Optional[int] = None,
     repeats: Optional[int] = None,
+    minimize: Optional[bool] = None,
 ) -> Measurement:
     """Answer a query ``repeats`` times (default ``REPRO_BENCH_REPEATS``).
 
@@ -333,7 +349,7 @@ def measure(
     for _ in range(repeats):
         run = _measure_once(
             dataset, entry, strategy, engine_name,
-            timeout_s, trace, verify_ir, cache, workers,
+            timeout_s, trace, verify_ir, cache, workers, minimize,
         )
         runs.append(run)
         if run.status != "ok":
@@ -358,6 +374,7 @@ def _measure_once(
     verify_ir: bool = False,
     cache: bool = False,
     workers: Optional[int] = None,
+    minimize: Optional[bool] = None,
 ) -> Measurement:
     """Answer one query under one strategy/engine, with missing-bar semantics.
 
@@ -387,7 +404,7 @@ def _measure_once(
     elif cache:
         qa = cached_answerer(dataset, engine_name)
     else:
-        qa = answerer(dataset, engine_name)
+        qa = answerer(dataset, engine_name, minimize)
     try:
         report = qa.answer(
             entry.query,

@@ -76,15 +76,42 @@ def test_fig4_gcov_always_completes(benchmark):
         assert len(per_engine) == 1, name
 
 
+#: Minimize-on/off ablation cells: the queries where the containment
+#: pass eliminates union terms, measured with the pass disabled and
+#: labelled ``<strategy>+nomin``.  Against the default (minimizing)
+#: cells these show the evaluate-time and union-term-count deltas the
+#: static analysis buys (DESIGN.md §13).
+ABLATION_QUERIES = ("Q02", "Q05", "Q16", "Q19", "Q24")
+ABLATION_STRATEGIES = ("ucq", "gcov")
+
+
+def _ablation_cells():
+    import dataclasses
+
+    cells = []
+    entries = [_entry(name) for name in ABLATION_QUERIES]
+    for engine_name in H.ENGINE_NAMES:
+        for entry in entries:
+            for strategy in ABLATION_STRATEGIES:
+                m = H.measure(
+                    DATASET, entry, strategy, engine_name, minimize=False
+                )
+                cells.append(
+                    dataclasses.replace(m, strategy=f"{strategy}+nomin")
+                )
+    return cells
+
+
 def main():
     results = H.run_grid(
         DATASET, H.workload(DATASET), STRATEGIES, H.ENGINE_NAMES
     )
+    results += _ablation_cells()
     return H.finish_grid(
         "fig4_lubm_small",
         f"Figure 4 — {DATASET} ({len(H.database(DATASET))} triples)",
         results,
-        STRATEGIES,
+        STRATEGIES + tuple(f"{s}+nomin" for s in ABLATION_STRATEGIES),
     )
 
 

@@ -33,17 +33,29 @@ from .diagnostics import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - static-analysis-only imports
+    from .containment import (
+        MinimizationResult,
+        Witness,
+        containment_witness,
+        core,
+        equivalent,
+        find_homomorphism,
+        is_contained,
+        minimize_ucq,
+    )
     from .lint import format_report, lint_many, lint_query, lint_text
     from .sqlcheck import check_sql, verify_sql
     from .verifier import (
         check_bgp,
         check_cover,
         check_jucq,
+        check_minimization,
         check_plan,
         plan_schema,
         verify_bgp,
         verify_cover,
         verify_jucq,
+        verify_minimization,
         verify_pipeline,
         verify_plan,
     )
@@ -52,11 +64,13 @@ _LAZY = {
     "check_bgp": "verifier",
     "check_cover": "verifier",
     "check_jucq": "verifier",
+    "check_minimization": "verifier",
     "check_plan": "verifier",
     "plan_schema": "verifier",
     "verify_bgp": "verifier",
     "verify_cover": "verifier",
     "verify_jucq": "verifier",
+    "verify_minimization": "verifier",
     "verify_plan": "verifier",
     "verify_pipeline": "verifier",
     "check_sql": "sqlcheck",
@@ -66,6 +80,14 @@ _LAZY = {
     "lint_text": "lint",
     "lint_many": "lint",
     "format_report": "lint",
+    "MinimizationResult": "containment",
+    "Witness": "containment",
+    "containment_witness": "containment",
+    "core": "containment",
+    "equivalent": "containment",
+    "find_homomorphism": "containment",
+    "is_contained": "containment",
+    "minimize_ucq": "containment",
 }
 
 __all__ = [

@@ -32,7 +32,15 @@ class Severity(enum.IntEnum):
 
 
 #: Canonical ordering of pipeline stages, used to sort diagnostics.
-STAGE_ORDER: Tuple[str, ...] = ("query", "cover", "jucq", "plan", "sql", "lint")
+STAGE_ORDER: Tuple[str, ...] = (
+    "query",
+    "minimize",
+    "cover",
+    "jucq",
+    "plan",
+    "sql",
+    "lint",
+)
 
 
 @dataclass(frozen=True)

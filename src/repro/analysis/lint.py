@@ -28,11 +28,21 @@ L109    WARNING   the single-fragment reformulation exceeds the
                   engine's statement limit, making the cost model's
                   clamped estimates degenerate
 L110    ERROR     a literal appears in subject or predicate position
+L111    INFO      the UCQ reformulation contains union terms subsumed
+                  by a sibling term (removed by the containment-based
+                  minimization pass, which is on by default)
+L112    INFO      the UCQ reformulation contains duplicate union terms
+                  up to variable renaming (same cache fingerprint)
+L113    ERROR     an RDFS constraint atom matches nothing in the schema
+                  closure — constraint triples are never stored in the
+                  data, so the answer is statically empty
 ======  ========  =====================================================
 
-Rules L102/L103 need a database (dictionary) and/or schema; L105 needs
-a schema; L109 needs a reformulator.  Absent context simply disables
-the rules that need it — the lint never guesses.
+Rules L102/L103 need a database (dictionary) and/or schema; L105 and
+L113 need a schema; L109 needs a reformulator; L111/L112 need both a
+schema and a reformulator (they inspect the raw reformulation through
+:mod:`repro.analysis.containment`).  Absent context simply disables the
+rules that need it — the lint never guesses.
 """
 
 from __future__ import annotations
@@ -203,6 +213,101 @@ def _lint_redundancy(query: BGPQuery, schema) -> List[Diagnostic]:
     return findings
 
 
+def _lint_schema_atoms(query: BGPQuery, schema) -> List[Diagnostic]:
+    """L113: constraint atoms with no consistent schema-closure match.
+
+    Reformulation rules 8-11 resolve ``rdfs:subClassOf``-style atoms by
+    binding them against the closure; constraint triples are never
+    stored in the triples table.  An atom no closure triple can bind is
+    therefore unsatisfiable: every union term retains it, and the whole
+    answer is statically empty.
+    """
+    from ..reformulation.reformulate import _closure_matches
+
+    findings: List[Diagnostic] = []
+    for index, atom in enumerate(query.body):
+        if not isinstance(atom.p, URI) or atom.p not in SCHEMA_PROPERTIES:
+            continue
+        satisfiable = False
+        for closure_triple in _closure_matches(atom, schema):
+            binding: dict = {}
+            consistent = True
+            for query_term, schema_term in zip(atom, closure_triple):
+                if isinstance(query_term, Variable):
+                    bound = binding.setdefault(query_term, schema_term)
+                    if bound != schema_term:
+                        consistent = False
+                        break
+                elif query_term != schema_term:
+                    consistent = False
+                    break
+            if consistent:
+                satisfiable = True
+                break
+        if not satisfiable:
+            findings.append(
+                _finding(
+                    "L113",
+                    Severity.ERROR,
+                    f"constraint atom ({_atom_text(query, index)}) matches "
+                    "nothing in the schema closure: the answer is "
+                    "statically empty",
+                    query,
+                    atom_index=index,
+                )
+            )
+    return findings
+
+
+def _lint_union_redundancy(
+    query: BGPQuery, schema, reformulator
+) -> List[Diagnostic]:
+    """L111/L112: statically redundant terms in the raw reformulation.
+
+    Materializes the *unminimized* reformulation (bounded by the
+    containment pass's own term cap, so the lint stays cheap) and runs
+    the subsumption pass over it; subsumed terms report L111, duplicate
+    terms up to renaming L112.  Both are informational: the default
+    pipeline removes them automatically (DESIGN.md §13).
+    """
+    from ..reformulation.reformulate import (
+        ReformulationLimitExceeded,
+        reformulate,
+    )
+    from .containment import DEFAULT_MAX_TERMS, minimize_ucq
+
+    limit = getattr(reformulator, "limit", None) or DEFAULT_MAX_TERMS
+    try:
+        raw = reformulate(query, schema, limit=min(limit, DEFAULT_MAX_TERMS))
+    except ReformulationLimitExceeded:
+        return []  # too large to materialize cheaply; the lint never guesses
+    result = minimize_ucq(raw, schema)
+    findings: List[Diagnostic] = []
+    if result.subsumed:
+        example = next(w for w in result.witnesses if w.kind == "subsumed")
+        findings.append(
+            _finding(
+                "L111",
+                Severity.INFO,
+                f"{result.subsumed} of {len(raw)} union terms are subsumed "
+                f"by a sibling term (e.g. {example.describe()}); the "
+                "containment-based minimization pass removes them",
+                query,
+            )
+        )
+    if result.duplicates:
+        findings.append(
+            _finding(
+                "L112",
+                Severity.INFO,
+                f"{result.duplicates} union terms duplicate a sibling up "
+                "to variable renaming (identical cache fingerprints)",
+                query,
+            )
+        )
+    return findings
+
+
 def _lint_cost_model(
     query: BGPQuery, reformulator, max_operand_terms: Optional[int]
 ) -> List[Diagnostic]:
@@ -260,6 +365,9 @@ def lint_query(
         report.extend(_lint_vocabulary(query, schema, dictionary))
     if schema is not None:
         report.extend(_lint_redundancy(query, schema))
+        report.extend(_lint_schema_atoms(query, schema))
+    if schema is not None and reformulator is not None:
+        report.extend(_lint_union_redundancy(query, schema, reformulator))
     report.extend(_lint_cost_model(query, reformulator, max_operand_terms))
     return report
 

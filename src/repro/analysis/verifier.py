@@ -17,7 +17,9 @@ Stage letters (full catalogue in DESIGN.md §8):
   :mod:`repro.reformulation.covers` and re-exported here);
 * ``IR-Jxx`` — JUCQ structure (Definition 3.4 heads, operand shape);
 * ``IR-Pxx`` — plan-tree schema/type propagation;
-* ``IR-Sxx`` — generated-SQL sanity (see :mod:`repro.analysis.sqlcheck`).
+* ``IR-Sxx`` — generated-SQL sanity (see :mod:`repro.analysis.sqlcheck`);
+* ``IR-Mxx`` — UCQ-minimization equivalence certificates (witness
+  homomorphisms recorded by :mod:`repro.analysis.containment`).
 
 ``verify_pipeline`` strings the stages together; it is what
 ``QueryAnswerer(verify_ir=True)`` and the ``--verify-ir`` CLI flag run
@@ -54,11 +56,13 @@ __all__ = [
     "check_bgp",
     "check_cover",
     "check_jucq",
+    "check_minimization",
     "check_plan",
     "plan_schema",
     "verify_bgp",
     "verify_cover",
     "verify_jucq",
+    "verify_minimization",
     "verify_plan",
     "verify_pipeline",
 ]
@@ -482,6 +486,97 @@ def plan_schema(plan: PlanNode) -> Tuple[str, ...]:
 
 
 # ----------------------------------------------------------------------
+# Stage M: minimization equivalence certificates
+# ----------------------------------------------------------------------
+def check_minimization(original: UCQ, result) -> List[Diagnostic]:
+    """Re-check a UCQ minimization's equivalence certificates (stage ``M``).
+
+    ``result`` is a :class:`repro.analysis.containment.MinimizationResult`.
+    The checks are independent of the homomorphism *search* that
+    produced the witnesses — they only re-apply the recorded mappings —
+    so a search bug cannot vouch for its own eliminations.
+
+    * ``IR-M01`` — a witness fails its independent re-check (the
+      recorded mapping is not a head-preserving homomorphism into the
+      removed term, or an empty-term witness points at a non-constraint
+      atom);
+    * ``IR-M02`` — the minimized UCQ contains a term that is not a term
+      of the original (minimization may only delete);
+    * ``IR-M03`` — term accounting is inconsistent: survivors plus
+      eliminations do not add up to the original union;
+    * ``IR-M04`` — a witness's keeper chain does not reach a surviving
+      term (every elimination must be anchored, transitively, in a term
+      that is still present).
+    """
+    from .containment import verify_witness
+
+    findings: List[Diagnostic] = []
+
+    def finding(code: str, message: str) -> Diagnostic:
+        return Diagnostic(
+            code=code,
+            severity=Severity.ERROR,
+            message=message,
+            stage="minimize",
+            subject=result.ucq.name,
+        )
+
+    original_keys = {cq.canonical() for cq in original}
+    survivor_keys = {cq.canonical() for cq in result.ucq}
+    for term in result.ucq:
+        if term.canonical() not in original_keys:
+            findings.append(
+                finding(
+                    "IR-M02",
+                    f"minimized term {term} does not occur in the original UCQ",
+                )
+            )
+    if len(result.ucq) + len(result.witnesses) != len(original):
+        findings.append(
+            finding(
+                "IR-M03",
+                f"{len(original)} original terms != {len(result.ucq)} "
+                f"survivors + {len(result.witnesses)} eliminations",
+            )
+        )
+    removed_to_keeper = {}
+    for witness in result.witnesses:
+        defect = verify_witness(witness)
+        if defect is not None:
+            findings.append(finding("IR-M01", defect))
+        if witness.removed.canonical() not in original_keys:
+            findings.append(
+                finding(
+                    "IR-M02",
+                    f"eliminated term {witness.removed} does not occur in "
+                    "the original UCQ",
+                )
+            )
+        if witness.keeper is not None:
+            removed_to_keeper[witness.removed.canonical()] = (
+                witness.keeper.canonical()
+            )
+    for witness in result.witnesses:
+        if witness.keeper is None:
+            continue
+        key = witness.keeper.canonical()
+        seen = {witness.removed.canonical()}
+        while key not in survivor_keys:
+            if key in seen or key not in removed_to_keeper:
+                findings.append(
+                    finding(
+                        "IR-M04",
+                        f"keeper chain of eliminated term {witness.removed} "
+                        "does not reach a surviving term",
+                    )
+                )
+                break
+            seen.add(key)
+            key = removed_to_keeper[key]
+    return sort_diagnostics(findings)
+
+
+# ----------------------------------------------------------------------
 # Raising wrappers and the pipeline driver
 # ----------------------------------------------------------------------
 def _raise_on_error(findings: Sequence[Diagnostic]) -> None:
@@ -512,6 +607,11 @@ def verify_jucq(
 def verify_plan(plan: PlanNode, expected_arity: Optional[int] = None) -> None:
     """Raise :class:`IRVerificationError` unless the plan tree type-checks."""
     _raise_on_error(check_plan(plan, expected_arity=expected_arity))
+
+
+def verify_minimization(original: UCQ, result) -> None:
+    """Raise :class:`IRVerificationError` unless every certificate holds."""
+    _raise_on_error(check_minimization(original, result))
 
 
 def verify_pipeline(

@@ -292,6 +292,18 @@ class QueryAnswerer:
             "repro",
             lambda: self.resilience_metrics.as_dict()["counters"],
         )
+        # The reformulator's minimization-pass counters carry an
+        # "analysis." key prefix (folded verbatim into per-answer report
+        # metrics); strip it here so they export as
+        # ``repro.analysis.terms_eliminated`` etc. without colliding
+        # with the "repro"-prefixed resilience source above.
+        registry.register_counters(
+            "repro.analysis",
+            lambda: {
+                name.partition(".")[2] or name: value
+                for name, value in self.reformulator.analysis_counters.items()
+            },
+        )
 
     # ------------------------------------------------------------------
     # Planning
@@ -502,6 +514,7 @@ class QueryAnswerer:
             budget = budget.start()
         metrics = MetricsRecorder()
         counters_before = None if self.cache is None else self.cache.counters()
+        analysis_before = dict(self.reformulator.analysis_counters)
         with tracer.span("answer", query=query.name, strategy=strategy) as root:
             start = time.perf_counter()
             with tracer.span("plan", strategy=strategy):
@@ -595,6 +608,13 @@ class QueryAnswerer:
                 delta = value - counters_before.get(name, 0)
                 if delta:
                     metrics.inc(name, delta)
+        # Likewise the minimization pass's work during this call
+        # (analysis.terms_eliminated / analysis.containment_checks);
+        # warm memo hits contribute zero, exactly like cache counters.
+        for name, value in self.reformulator.analysis_counters.items():
+            delta = value - analysis_before.get(name, 0)
+            if delta:
+                metrics.inc(name, delta)
         predicted_cost = None
         predicted_rows = None
         accuracy = AccuracyRecorder()

@@ -32,6 +32,12 @@ Commands
     dictionary: rule-coded diagnostics (DESIGN.md §8), non-zero exit on
     any error-severity finding, ``--format json`` for machines.
 
+``analyze``
+    Containment-based static analysis (DESIGN.md §13): materialize each
+    query's reformulation, run the UCQ minimization pass, re-check every
+    elimination certificate, and report union terms before/after with
+    witness homomorphisms; exit codes match ``lint``.
+
 ``chaos``
     Run a workload through seeded fault injection (DESIGN.md §10) with
     the strategy-fallback ladder on, and compare every answer set
@@ -557,6 +563,118 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``repro analyze``: containment-based static query analysis.
+
+    Materializes each query's raw reformulation, runs the UCQ
+    minimization pass (DESIGN.md §13), independently re-checks every
+    elimination certificate through the IR-M verifier rules, and prints
+    a per-query report: union terms before/after, elimination breakdown,
+    and (``--verbose``) the witness homomorphisms.  Lint diagnostics for
+    each query ride along; the exit contract matches ``repro lint`` —
+    1 when any error-severity finding or certificate fault fires.
+    """
+    if not args.query and not args.workload:
+        print("analyze needs at least one -q QUERY or --workload", file=sys.stderr)
+        return 2
+    from .analysis.containment import minimization_summary, minimize_ucq
+    from .analysis.verifier import check_minimization
+    from .reformulation.reformulate import reformulate
+
+    database = _load_database(args.data)
+    reformulator = Reformulator(database.schema)
+    declarations = "".join(
+        f"PREFIX {declaration.partition('=')[0]}: "
+        f"<{declaration.partition('=')[2]}> "
+        for declaration in args.prefix
+    )
+    targets = []
+    for index, text in enumerate(args.query or []):
+        try:
+            query = parse_query(declarations + text)
+        except ValueError as error:
+            print(f"q{index + 1}: {error}", file=sys.stderr)
+            return 2
+        query.name = f"q{index + 1}"
+        targets.append(query)
+    if args.workload:
+        from .datasets import dblp_workload, lubm_workload
+
+        entries = lubm_workload() if args.workload == "lubm" else dblp_workload()
+        for entry in entries:
+            entry.query.name = entry.name
+            targets.append(entry.query)
+
+    failed = 0
+    rows = []
+    reports = []
+    for query in targets:
+        row: dict = {"query": query.name}
+        report = lint_query(
+            query,
+            database=database,
+            reformulator=reformulator,
+            max_operand_terms=args.statement_limit,
+        )
+        reports.append(report)
+        row["diagnostics"] = [d.to_dict() for d in report.diagnostics]
+        try:
+            raw = reformulate(query, database.schema, limit=args.term_limit)
+        except ReformulationLimitExceeded:
+            row["skipped"] = (
+                f"reformulation exceeds --term-limit {args.term_limit}"
+            )
+            rows.append(row)
+            if not report.ok:
+                failed += 1
+            continue
+        result = minimize_ucq(raw, database.schema)
+        row.update(minimization_summary(raw, result))
+        faults = check_minimization(raw, result)
+        row["certificate_faults"] = [d.to_dict() for d in faults]
+        if faults or not report.ok:
+            failed += 1
+        rows.append(row)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"queries": len(rows), "failed": failed, "reports": rows},
+                indent=2,
+            )
+        )
+    else:
+        from .analysis.lint import format_report
+
+        for row, report in zip(rows, reports):
+            if "skipped" in row:
+                print(f"{row['query']}: skipped ({row['skipped']})")
+            else:
+                line = (
+                    f"{row['query']}: {row['terms_before']} -> "
+                    f"{row['terms_after']} union terms"
+                )
+                breakdown = [
+                    f"{kind} {row[kind]}"
+                    for kind in ("subsumed", "duplicates", "empty")
+                    if row[kind]
+                ]
+                if breakdown:
+                    line += f" ({', '.join(breakdown)})"
+                line += f" [{row['containment_checks']} containment checks]"
+                if row["skipped_subsumption"]:
+                    line += " (subsumption sweep skipped: too many terms)"
+                print(line)
+                if args.verbose:
+                    for witness in row["witnesses"]:
+                        print(f"  {witness}")
+                for fault in row["certificate_faults"]:
+                    print(f"  CERTIFICATE FAULT {fault['code']}: {fault['message']}")
+            if report.diagnostics and (args.verbose or not report.ok):
+                print(format_report(report, verbose=args.verbose))
+    return 1 if failed else 0
+
+
 def cmd_cache_stats(args: argparse.Namespace) -> int:
     """``repro cache-stats``: exercise the query cache and report hit rates.
 
@@ -950,6 +1068,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="also show INFO-severity findings"
     )
     lint.set_defaults(handler=cmd_lint)
+
+    analyze = commands.add_parser(
+        "analyze", help="containment-based static analysis of queries"
+    )
+    analyze.add_argument("data", help="N-Triples file (constraints + facts)")
+    analyze.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        default=[],
+        help="SPARQL BGP text (repeatable)",
+    )
+    analyze.add_argument(
+        "--prefix",
+        action="append",
+        default=[],
+        metavar="NAME=IRI",
+        help="extra prefix declaration (repeatable)",
+    )
+    analyze.add_argument(
+        "--workload",
+        choices=("lubm", "dblp"),
+        help="also analyze a bundled benchmark workload",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    analyze.add_argument(
+        "--term-limit",
+        type=int,
+        default=10_000,
+        help="skip queries whose raw reformulation exceeds this many terms",
+    )
+    analyze.add_argument(
+        "--statement-limit",
+        type=int,
+        default=DEFAULT_STATEMENT_LIMIT,
+        help="engine statement limit for lint rule L109",
+    )
+    analyze.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show witness homomorphisms and INFO-severity findings",
+    )
+    analyze.set_defaults(handler=cmd_analyze)
 
     stats = commands.add_parser("stats", help="summarize a dataset")
     stats.add_argument("data", help="N-Triples file")

@@ -41,7 +41,7 @@ produces exactly the 11 union terms (0)-(10) listed in the paper.
 from __future__ import annotations
 
 from itertools import product
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..cache.lru import MISSING, LRUCache
 from ..rdf.schema import RDFSchema
@@ -84,6 +84,19 @@ class Reformulator:
     canonical form, guarded by the schema fingerprint — any schema
     mutation drops every entry on the next call, while data updates
     leave it untouched (a reformulation is a pure schema consequence).
+
+    ``minimize`` (on by default) runs the containment-based UCQ
+    subsumption pass (:func:`repro.analysis.containment.minimize_ucq`,
+    DESIGN.md §13) over every freshly materialized reformulation, so
+    all strategies — ucq, pruned-ucq, scq and the gcov/ecov cover
+    searches, which all reformulate through this class — plan over the
+    minimized union.  The pass is a pure function of (query, schema),
+    so memoizing its output keeps the cache contract intact.  With
+    ``verify_certificates`` (also on by default) every elimination's
+    witness homomorphism is immediately re-checked by the IR verifier's
+    ``IR-M*`` rules; the re-check is linear in the witness sizes and a
+    failure raises :class:`repro.analysis.IRVerificationError` rather
+    than letting an unsound elimination reach the planner.
     """
 
     def __init__(
@@ -91,6 +104,9 @@ class Reformulator:
         schema: RDFSchema,
         limit: Optional[int] = None,
         capacity: Optional[int] = None,
+        minimize: bool = True,
+        verify_certificates: bool = True,
+        minimize_max_terms: Optional[int] = None,
     ):
         self.schema = schema
         self.limit = limit
@@ -100,6 +116,16 @@ class Reformulator:
         self._schema_fp: Optional[str] = None
         #: Number of non-memoized reformulation runs (instrumentation).
         self.runs = 0
+        self.minimize = minimize
+        self.verify_certificates = verify_certificates
+        self.minimize_max_terms = minimize_max_terms
+        #: Monotone counters of the minimization pass's work, exported
+        #: by the answerer as ``repro.analysis.*`` registry counters and
+        #: folded (as deltas) into per-answer report metrics.
+        self.analysis_counters: Dict[str, int] = {
+            "analysis.terms_eliminated": 0,
+            "analysis.containment_checks": 0,
+        }
 
     def _sync(self) -> None:
         """Drop the memos when the schema has mutated since they filled."""
@@ -110,8 +136,33 @@ class Reformulator:
                 self._count_cache.clear()
             self._schema_fp = fingerprint
 
+    def _minimize(self, ucq: UCQ) -> UCQ:
+        """Run the subsumption pass, fold counters, re-check witnesses."""
+        from ..analysis.containment import DEFAULT_MAX_TERMS, minimize_ucq
+
+        max_terms = (
+            DEFAULT_MAX_TERMS
+            if self.minimize_max_terms is None
+            else self.minimize_max_terms
+        )
+        try:
+            result = minimize_ucq(ucq, self.schema, max_terms=max_terms)
+        except ValueError:
+            # Malformed IR (e.g. an unsafe head smuggled in via _raw)
+            # breaks fingerprinting; skip the optimization and let the
+            # IR verifier report the corruption with a rule code.
+            return ucq
+        counters = self.analysis_counters
+        for name, value in result.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        if self.verify_certificates and result.witnesses:
+            from ..analysis.verifier import verify_minimization
+
+            verify_minimization(ucq, result)
+        return result.ucq
+
     def reformulate(self, query: BGPQuery) -> UCQ:
-        """The UCQ reformulation of ``query`` w.r.t. the schema.
+        """The (minimized) UCQ reformulation of ``query`` w.r.t. the schema.
 
         Limit overruns are memoized too, so a fragment that once blew
         the term limit fails instantly on every later request instead
@@ -127,6 +178,8 @@ class Reformulator:
                 self.cache.put(key, error)
                 self.runs += 1
                 raise
+            if self.minimize:
+                cached = self._minimize(cached)
             self.cache.put(key, cached)
             self.runs += 1
         if isinstance(cached, ReformulationLimitExceeded):
@@ -135,7 +188,12 @@ class Reformulator:
 
     def count(self, query: BGPQuery) -> int:
         """``|q_ref|`` without materializing the union (see
-        :func:`reformulation_count`)."""
+        :func:`reformulation_count`).
+
+        When nothing is memoized this is the pre-minimization upper
+        bound; once :meth:`reformulate` has run, the memoized (and, by
+        default, minimized) union's exact size is returned instead.
+        """
         self._sync()
         key = query.canonical()
         cached = self._count_cache.get(key, MISSING)

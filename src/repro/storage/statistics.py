@@ -55,12 +55,15 @@ class TableStatistics:
         self.auto_invalidations = 0
 
     def _sync(self) -> None:
-        """Drop the memos when the table has mutated since they were built."""
+        """Drop the memos when the table has mutated since they were built.
+
+        Callers must hold ``self._lock``.
+        """
         version = self.table.version
         if version != self._synced_version:
             self._count_cache.clear()
             self._distinct_cache.clear()
-            self._synced_version = version
+            self._synced_version = version  # lock: held by every caller
             self.auto_invalidations += 1
 
     @property

@@ -211,3 +211,56 @@ def random_queries(
         head = rng.sample(used, head_size)
         queries.append(BGPQuery(head, atoms, name=f"rnd{seed}_{index}"))
     return queries
+
+
+# ----------------------------------------------------------------------
+# Minimization oracle
+# ----------------------------------------------------------------------
+def minimization_differential_check(
+    database: RDFDatabase,
+    query: BGPQuery,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    engine_factory=None,
+    term_budget: int = DEFAULT_TERM_BUDGET,
+    label: str = "",
+) -> int:
+    """Assert the minimizing pipeline answers exactly like the plain one.
+
+    Runs ``query`` under every requested strategy twice — once through a
+    reformulator with the containment-based UCQ minimization pass off,
+    once with it on (the default) — and asserts the answer sets are
+    identical.  This is the zero-false-positive invariant for the static
+    analysis: an elimination that changed any answer anywhere would be a
+    soundness bug, not a tuning regression.
+
+    Returns the number of union terms the pass eliminated across the
+    sweep, so callers can additionally assert it actually fired.
+    """
+    factory = engine_factory or (lambda: NativeEngine(database))
+    plain = QueryAnswerer(
+        database,
+        engine=factory(),
+        reformulator=Reformulator(database.schema, limit=term_budget, minimize=False),
+    )
+    minimized = QueryAnswerer(
+        database,
+        engine=factory(),
+        reformulator=Reformulator(database.schema, limit=term_budget),
+    )
+    context = label or getattr(query, "name", "query")
+    compared = 0
+    for strategy in strategies:
+        try:
+            expected = plain.answer(query, strategy=strategy).answers
+        except (ReformulationLimitExceeded, SearchInfeasible, EngineFailure):
+            continue
+        # Minimization only ever shrinks the evaluated union, so any
+        # strategy feasible without it must stay feasible with it.
+        actual = minimized.answer(query, strategy=strategy).answers
+        assert actual == expected, (
+            f"{context}/{strategy}: minimized pipeline diverged "
+            f"({len(actual)} vs {len(expected)} answers)"
+        )
+        compared += 1
+    assert compared, f"{context}: no strategy was feasible for the comparison"
+    return minimized.reformulator.analysis_counters["analysis.terms_eliminated"]

@@ -21,7 +21,7 @@ from repro.analysis.lint import (
 from repro.cli import main
 from repro.datasets import UB, dblp_workload, lubm_workload
 from repro.query.bgp import BGPQuery
-from repro.rdf import Literal, RDF_TYPE, Triple, URI, Variable
+from repro.rdf import Literal, RDF_TYPE, RDFS_SUBCLASS, Triple, URI, Variable
 from repro.reformulation import Reformulator
 
 
@@ -262,3 +262,125 @@ class TestLintCLI:
         )
         assert code == 0
         assert "Q01: ok" in out
+
+
+# ----------------------------------------------------------------------
+# Containment-backed rules: L111-L113 (DESIGN.md section 13)
+# ----------------------------------------------------------------------
+class TestContainmentLintRules:
+    def test_subsumed_union_terms_are_l111(self, lubm_db):
+        # Q19's reformulation carries terms subsumed by more general
+        # siblings; with a reformulator the lint materializes the raw
+        # UCQ and reports them (informational -- the default pipeline
+        # removes them automatically).
+        entry = next(e for e in lubm_workload() if e.name == "Q19")
+        report = lint_query(
+            entry.query,
+            schema=lubm_db.schema,
+            reformulator=Reformulator(lubm_db.schema),
+        )
+        assert "L111" in codes(report)
+        assert report.ok  # INFO severity: advisory, never a failure
+
+    def test_duplicate_union_terms_are_l112(self, book_schema, monkeypatch):
+        # Reformulation preserves head variable names, so renaming
+        # duplicates cannot arise organically; stub the reformulation
+        # to return one to exercise the rule.
+        import importlib
+
+        from repro.query.algebra import UCQ
+
+        # `repro.reformulation.reformulate` the *module* is shadowed by
+        # the re-exported function of the same name.
+        reformulate_module = importlib.import_module(
+            "repro.reformulation.reformulate"
+        )
+
+        left = BGPQuery([x], [Triple(x, ex("writtenBy"), y)])
+        right = BGPQuery([z], [Triple(z, ex("writtenBy"), Variable("w"))])
+        duplicated = UCQ([left, right])
+        monkeypatch.setattr(
+            reformulate_module,
+            "reformulate",
+            lambda query, schema, limit=None: duplicated,
+        )
+        report = lint_query(
+            left, schema=book_schema, reformulator=Reformulator(book_schema)
+        )
+        assert "L112" in codes(report)
+        assert report.ok
+
+    def test_unsatisfiable_constraint_atom_is_l113(self, book_schema):
+        query = BGPQuery([x], [Triple(x, RDFS_SUBCLASS, ex("NoSuchClass"))])
+        report = lint_query(query, schema=book_schema)
+        assert "L113" in codes(report)
+        assert not report.ok  # statically empty answer: an error
+
+    def test_satisfiable_constraint_atom_is_clean(self, book_schema):
+        query = BGPQuery([x], [Triple(x, RDFS_SUBCLASS, ex("Publication"))])
+        report = lint_query(query, schema=book_schema)
+        assert "L113" not in codes(report)
+
+    def test_no_reformulator_skips_union_rules(self, lubm_db):
+        # Without a reformulator the lint must not materialize UCQs.
+        entry = next(e for e in lubm_workload() if e.name == "Q19")
+        report = lint_query(entry.query, schema=lubm_db.schema)
+        assert "L111" not in codes(report)
+        assert "L112" not in codes(report)
+
+
+class TestAnalyzeCLI:
+    def test_clean_query_exits_zero(self, dataset, capsys):
+        code, out, _ = run_cli(
+            [
+                "analyze",
+                str(dataset),
+                "-q",
+                "SELECT ?x WHERE { ?x a ub:Professor . ?x ub:worksFor ?d }",
+                "--prefix",
+                f"ub={UB}",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "union terms" in out
+
+    def test_statically_empty_query_exits_one(self, dataset, capsys):
+        subclass = "<http://www.w3.org/2000/01/rdf-schema#subClassOf>"
+        code, out, _ = run_cli(
+            [
+                "analyze",
+                str(dataset),
+                "-q",
+                f"SELECT ?x WHERE {{ ?x {subclass} <http://ex/Nope> }}",
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "L113" in out
+
+    def test_no_queries_exits_two(self, dataset, capsys):
+        code, _, err = run_cli(["analyze", str(dataset)], capsys)
+        assert code == 2
+
+    def test_json_format(self, dataset, capsys):
+        code, out, _ = run_cli(
+            [
+                "analyze",
+                str(dataset),
+                "-q",
+                "SELECT ?x ?y WHERE { ?x ub:headOf ?y }",
+                "--prefix",
+                f"ub={UB}",
+                "--format",
+                "json",
+            ],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["queries"] == 1
+        assert payload["failed"] == 0
+        row = payload["reports"][0]
+        assert row["terms_after"] <= row["terms_before"]
+        assert row["certificate_faults"] == []

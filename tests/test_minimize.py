@@ -124,7 +124,9 @@ class TestMinimization:
         assert len(minimal.body) == 2  # Person dropped; Student + SSN stay
 
     def test_minimization_shrinks_reformulation(self, schema):
-        reformulator = Reformulator(schema)
+        # Compare raw term counts: the containment pass would collapse
+        # both reformulations to the same minimized union anyway.
+        reformulator = Reformulator(schema, minimize=False)
         query = BGPQuery(
             [x], [Triple(x, RDF_TYPE, u("Person")), Triple(x, u("hasSSN"), y)]
         )
