@@ -893,10 +893,22 @@ class QueryAnswerer:
 
     def close(self) -> None:
         """Release owned resources (the worker pool, when this answerer
-        created it from ``workers=``; a shared ``pool=`` is left alone)."""
-        if self._owns_pool and self.pool is not None:
-            self.pool.shutdown()
-            self.pool = None
+        created it from ``workers=``; a shared ``pool=`` is left alone).
+
+        Idempotent and safe under concurrent callers: the service's
+        drain path may call it from a signal handler while another
+        thread is already closing.  Exactly one caller wins the claim
+        under the lock and performs the (blocking) shutdown outside it;
+        everyone else sees nothing left to release and returns.
+        """
+        with self._lock:
+            pool = self.pool
+            owned = self._owns_pool
+            if owned:
+                self.pool = None
+                self._owns_pool = False
+        if owned and pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "QueryAnswerer":
         return self

@@ -103,6 +103,8 @@ def summarize(values: Iterable[Number], unit: str = "ms") -> Dict[str, Any]:
         "min": round(ordered[0], 6),
         "max": round(ordered[-1], 6),
         "p50": round(_percentile(ordered, 0.5), 6),
+        "p90": round(_percentile(ordered, 0.9), 6),
+        "p99": round(_percentile(ordered, 0.99), 6),
         "values": [round(v, 6) for v in ordered],
     }
 

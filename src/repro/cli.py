@@ -52,6 +52,12 @@ Commands
     Compare two ``BENCH_*.json`` perf-trajectory documents with
     per-metric noise thresholds; exits 8 on any regression.
 
+``serve``
+    Run the multi-tenant HTTP query service (DESIGN.md §14): shared
+    answerers with per-tenant admission control, bounded queueing,
+    fallback ladders, ``/metrics`` exposition and graceful drain on
+    SIGTERM.
+
 Failures map to distinct exit codes instead of tracebacks: 2 usage /
 IR verification, 3 chaos mismatch, 4 timeout, 5 engine failure,
 6 planning infeasible, 7 resilience exhausted, 8 bench regression.
@@ -67,6 +73,7 @@ Examples::
     python -m repro lint campus.nt --workload lubm
     python -m repro query campus.nt -q "..." --fallback --timeout 5
     python -m repro chaos campus.nt --workload lubm --seeds 0,1,2
+    python -m repro serve --lubm 1 --port 8425 --tenants tenants.json
 """
 
 from __future__ import annotations
@@ -869,6 +876,76 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return EXIT_CHAOS_MISMATCH if mismatches or unrecovered else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the multi-tenant query service (DESIGN.md §14).
+
+    Loads one or more datasets (N-Triples files and/or synthetic
+    generators), wraps each in a cache-backed answerer, and serves
+    them until SIGTERM/SIGINT triggers a graceful drain (finish
+    in-flight queries, flush metrics, exit 0).
+    """
+    import threading
+
+    from .service import QueryService, ServiceConfig, TenantRegistry
+
+    datasets = {}
+    for declaration in args.data or []:
+        name, _, path = declaration.partition("=")
+        if not path:
+            raise SystemExit(f"bad --data {declaration!r}; expected NAME=PATH")
+        datasets[name] = _load_database(path)
+    if args.lubm is not None:
+        from .datasets import build_lubm_database
+
+        datasets["lubm"] = build_lubm_database(universities=args.lubm, seed=args.seed)
+    if args.dblp is not None:
+        from .datasets import build_dblp_database
+
+        datasets["dblp"] = build_dblp_database(publications=args.dblp, seed=args.seed)
+    if not datasets:
+        print("repro serve needs at least one --data/--lubm/--dblp", file=sys.stderr)
+        return 2
+    answerers = {}
+    for name, database in datasets.items():
+        answerer = _answerer(database, args.engine, cache=QueryCache())
+        if args.limit is not None:
+            answerer.reformulator.limit = args.limit
+        answerers[name] = answerer
+    if args.tenants:
+        with open(args.tenants, "r", encoding="utf-8") as source:
+            tenants = TenantRegistry.from_dict(json.load(source))
+    else:
+        tenants = TenantRegistry.open_registry()
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_strategy=args.strategy,
+        resilient=not args.direct,
+        default_timeout_s=args.timeout,
+        drain_grace_s=args.drain_grace,
+        metrics_flush_path=args.metrics_out,
+    )
+    service = QueryService(answerers, tenants=tenants, config=config)
+
+    def announce() -> None:
+        if not service.wait_ready(30) or service.address is None:
+            return
+        host, port = service.address
+        print(
+            f"# repro-serve listening on http://{host}:{port} "
+            f"datasets={sorted(answerers)} tenants={len(tenants)}",
+            file=sys.stderr,
+        )
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as sink:
+                sink.write(f"{port}\n")
+
+    threading.Thread(target=announce, name="repro-serve-announce", daemon=True).start()
+    return service.run()
+
+
 def cmd_metrics_export(args: argparse.Namespace) -> int:
     """``repro metrics-export``: run a workload, dump the registry.
 
@@ -1306,6 +1383,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="reformulation term limit (overruns degrade down the ladder)",
     )
     chaos.set_defaults(handler=cmd_chaos)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant query service (DESIGN.md §14)",
+    )
+    serve.add_argument(
+        "--data",
+        action="append",
+        metavar="NAME=PATH",
+        help="serve an N-Triples file as dataset NAME (repeatable)",
+    )
+    serve.add_argument(
+        "--lubm",
+        type=int,
+        metavar="N",
+        help="also serve a synthetic N-university LUBM dataset as 'lubm'",
+    )
+    serve.add_argument(
+        "--dblp",
+        type=int,
+        metavar="N",
+        help="also serve a synthetic N-publication DBLP dataset as 'dblp'",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="synthetic dataset seed")
+    serve.add_argument("--engine", choices=("native", "sqlite"), default="native")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8425, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port here once listening (use with --port 0)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, help="execution pool width"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="max requests accepted but not yet executing (backpressure gate)",
+    )
+    serve.add_argument("--strategy", choices=STRATEGIES, default="gcov")
+    serve.add_argument(
+        "--direct",
+        action="store_true",
+        help="answer without the fallback ladder by default",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request wall-clock cap",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a drain waits for in-flight queries",
+    )
+    serve.add_argument(
+        "--tenants",
+        metavar="PATH",
+        help="tenants.json with API keys and quotas (default: open single-tenant)",
+    )
+    serve.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="TERMS",
+        help="reformulation term limit applied to every dataset",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a final registry snapshot (JSON) during drain",
+    )
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

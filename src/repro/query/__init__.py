@@ -3,7 +3,7 @@
 from .algebra import JUCQ, UCQ, cq_as_ucq, ucq_as_jucq
 from .bgp import BGPQuery, Substitution, apply_substitution, substitute_triple
 from .naive import evaluate, evaluate_cq, evaluate_jucq, evaluate_ucq
-from .parser import SPARQLSyntaxError, parse_query
+from .parser import SPARQLSyntaxError, parse_query, to_sparql
 
 __all__ = [
     "BGPQuery",
@@ -19,5 +19,6 @@ __all__ = [
     "evaluate_ucq",
     "parse_query",
     "substitute_triple",
+    "to_sparql",
     "ucq_as_jucq",
 ]

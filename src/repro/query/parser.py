@@ -166,3 +166,40 @@ def parse_query(text: str, name: str = "q") -> BGPQuery:
     1
     """
     return _Parser(_tokenize(text), name).parse()
+
+
+def _sparql_term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return f"?{term.value}"
+    if isinstance(term, URI):
+        return f"<{term.value}>"
+    if isinstance(term, Literal):
+        escaped = (
+            str(term.value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\t", "\\t")
+        )
+        return f'"{escaped}"'
+    raise ValueError(f"cannot serialize term {term!r} to SPARQL")
+
+
+def to_sparql(query: BGPQuery) -> str:
+    """Render a :class:`BGPQuery` back to parseable SPARQL text.
+
+    The inverse of :func:`parse_query` up to cosmetic whitespace and
+    prefix expansion (every IRI comes out absolute), used by HTTP
+    clients of the query service that hold parsed workload queries:
+    ``parse_query(to_sparql(q)) == q``.
+    """
+    head = []
+    for term in query.head:
+        if not isinstance(term, Variable):
+            raise ValueError(f"SELECT term must be a variable, got {term!r}")
+        head.append(_sparql_term(term))
+    body = " . ".join(
+        f"{_sparql_term(a.s)} {_sparql_term(a.p)} {_sparql_term(a.o)}"
+        for a in query.body
+    )
+    return f"SELECT {' '.join(head)} WHERE {{ {body} }}"

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Optional
+from typing import Callable, Optional, TypeVar
+
+_N = TypeVar("_N", int, float)
 
 
 @dataclass
@@ -121,6 +123,39 @@ class ExecutionBudget:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def tightened(
+        self,
+        timeout_s: Optional[float] = None,
+        max_union_terms: Optional[int] = None,
+        max_intermediate_rows: Optional[int] = None,
+        max_result_rows: Optional[int] = None,
+    ) -> "ExecutionBudget":
+        """A fresh budget with each axis at the tighter of two caps.
+
+        Composes a policy-level template with caller-level limits (the
+        service intersects a tenant's quota budget with the request's
+        own ``timeout_s`` this way).  ``None`` on either side means
+        that side imposes nothing.  The result is unstarted — its
+        deadline pins on :meth:`start` — and keeps ``self``'s clock.
+        """
+
+        def tight(a: Optional[_N], b: Optional[_N]) -> Optional[_N]:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return min(a, b)
+
+        return ExecutionBudget(
+            timeout_s=tight(self.timeout_s, timeout_s),
+            max_union_terms=tight(self.max_union_terms, max_union_terms),
+            max_intermediate_rows=tight(
+                self.max_intermediate_rows, max_intermediate_rows
+            ),
+            max_result_rows=tight(self.max_result_rows, max_result_rows),
+            clock=self.clock,
+        )
+
     @classmethod
     def resolve(
         cls,

@@ -1,0 +1,166 @@
+"""A minimal asyncio HTTP/1.1 layer (stdlib only; DESIGN.md §14).
+
+Just enough HTTP for the query service: request-line + header parsing,
+``Content-Length`` bodies, keep-alive, and a response writer.  The
+parser is deliberately strict and bounded — malformed framing raises
+:class:`BadRequest` (one 400 response, then the connection closes)
+and oversized headers/bodies raise before anything is buffered
+unbounded.  No chunked encoding, no HTTP/2, no TLS: the service is an
+internal front-end that sits behind real infrastructure in any
+deployment that needs those.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, unquote
+
+#: Hard parser bounds (bytes).
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_BYTES = 32768
+DEFAULT_MAX_BODY = 1 << 20  # 1 MiB of query text is already absurd
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(Exception):
+    """Malformed HTTP framing; the handler answers 400 and closes."""
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """HTTP/1.1 keep-alive semantics (``Connection: close`` opts out)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body decoded as JSON; :class:`BadRequest` on garbage."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise BadRequest(f"request body is not valid JSON: {error}") from error
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = DEFAULT_MAX_BODY
+) -> Optional[HTTPRequest]:
+    """Parse one request off the stream; None on a clean EOF.
+
+    Raises :class:`BadRequest` on malformed framing and
+    ``asyncio.IncompleteReadError`` when the peer hangs up mid-body.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionResetError, asyncio.LimitOverrunError):
+        return None
+    if not line or line in (b"\r\n", b"\n"):
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise BadRequest("request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise BadRequest("connection closed inside headers")
+        header_bytes += len(raw)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise BadRequest("headers too large")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as error:
+            raise BadRequest(f"bad Content-Length {length_text!r}") from error
+        if length < 0 or length > max_body:
+            raise BadRequest(f"body of {length} bytes exceeds the {max_body} cap")
+        if length:
+            body = await reader.readexactly(length)
+    path, _, query_string = target.partition("?")
+    query = dict(parse_qsl(query_string, keep_blank_values=True))
+    return HTTPRequest(
+        method=method.upper(),
+        path=unquote(path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[Mapping[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """The full response bytes for one exchange."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[Mapping[str, str]] = None,
+    keep_alive: bool = True,
+) -> None:
+    """Write one response and flush it."""
+    writer.write(
+        render_response(status, body, content_type, extra_headers, keep_alive)
+    )
+    await writer.drain()
+
+
+def json_body(payload: Any) -> Tuple[bytes, str]:
+    """``(body, content_type)`` for a JSON payload."""
+    return (json.dumps(payload).encode("utf-8") + b"\n", "application/json")

@@ -1,0 +1,82 @@
+"""Shared HTTP plumbing for the service test battery.
+
+Plain :mod:`http.client` requests (no service-internal shortcuts): the
+tests exercise the server exactly the way an external client would,
+keep-alive connections included.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+#: ``(status, headers, payload)`` of one exchange.
+Response = Tuple[int, Dict[str, str], Any]
+
+
+def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+    api_key: Optional[str] = None,
+    timeout_s: float = 60.0,
+    conn: Optional[http.client.HTTPConnection] = None,
+) -> Response:
+    """One HTTP exchange; opens (and closes) a connection unless given one."""
+    own = conn is None
+    if conn is None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    headers = {"Content-Type": "application/json"}
+    if api_key is not None:
+        headers["X-Api-Key"] = api_key
+    body = None if payload is None else json.dumps(payload)
+    try:
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        response_headers = {name: value for name, value in response.getheaders()}
+    finally:
+        if own:
+            conn.close()
+    decoded: Any = raw
+    if response_headers.get("Content-Type", "").startswith("application/json"):
+        decoded = json.loads(raw)
+    elif response_headers.get("Content-Type", "").startswith("text/"):
+        decoded = raw.decode("utf-8")
+    return response.status, response_headers, decoded
+
+
+def post_query(
+    host: str,
+    port: int,
+    payload: dict,
+    api_key: Optional[str] = None,
+    timeout_s: float = 60.0,
+    conn: Optional[http.client.HTTPConnection] = None,
+) -> Response:
+    return request(
+        host, port, "POST", "/query", payload, api_key, timeout_s, conn
+    )
+
+
+def get(host: str, port: int, path: str, timeout_s: float = 30.0) -> Response:
+    return request(host, port, "GET", path, timeout_s=timeout_s)
+
+
+def render_rows(answers) -> list:
+    """Answer rows rendered exactly as the service renders them."""
+    return sorted("\t".join(str(term) for term in row) for row in answers)
+
+
+def wait_until(predicate, timeout_s: float = 10.0, interval_s: float = 0.01) -> bool:
+    """Poll ``predicate`` until true or the deadline passes."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()

@@ -613,3 +613,52 @@ def test_evaluate_parallel_first_error_wins(lubm_db):
     with WorkerPool(4) as pool:
         with pytest.raises(EngineFailure, match="boom"):
             evaluate_parallel(engine, jucq, pool)
+
+
+# ----------------------------------------------------------------------
+# Answerer close(): idempotent and concurrency-safe (the service's
+# drain path calls it from a signal handler while workers still run)
+# ----------------------------------------------------------------------
+def test_close_is_idempotent_and_safe_under_concurrent_callers(lubm_db):
+    answerer = make_answerer(lubm_db, workers=2)
+    x = Variable("x")
+    some_class = sorted(lubm_db.schema.classes, key=str)[0]
+    query = BGPQuery([x], [Triple(x, RDF_TYPE, some_class)], name="close-probe")
+    expected = answerer.answer(query, strategy="saturation").answers
+
+    callers = 8
+    barrier = threading.Barrier(callers)
+    errors = []
+
+    def closer():
+        barrier.wait(timeout=30)
+        try:
+            answerer.close()
+        except Exception as error:  # noqa: BLE001 - the regression itself
+            errors.append(error)
+
+    threads = [threading.Thread(target=closer) for _ in range(callers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30)
+    assert errors == []
+    assert answerer.pool is None
+
+    # A third close is still a no-op, and the answerer still answers
+    # (serially) after its pool is gone.
+    answerer.close()
+    assert answerer.answer(query, strategy="saturation").answers == expected
+
+
+def test_close_leaves_a_shared_pool_running(lubm_db):
+    pool = WorkerPool(2)
+    try:
+        answerer = make_answerer(lubm_db)
+        answerer.pool = pool
+        answerer.close()
+        answerer.close()
+        # The shared pool was not the answerer's to shut down.
+        assert pool.submit(lambda: 41 + 1).result(timeout=10) == 42
+    finally:
+        pool.shutdown()

@@ -1,0 +1,192 @@
+"""Concurrency soak of the query service against the serial oracle.
+
+Two claims under load (DESIGN.md §14):
+
+* **Answer fidelity** — 16 client threads hammering one live server
+  with mixed strategies over mixed LUBM/DBLP workloads, cold cache and
+  warm, must receive byte-for-byte the rows the serial oracle computes
+  for the same queries.  Concurrency may reorder *scheduling*, never
+  *answers*.
+* **Tenant isolation** — a tenant whose queries keep failing opens
+  circuits in *its own* breaker only: under 100%-failure-rate chaos,
+  the hammering tenant's ladder starts skipping the broken rung while
+  a quiet tenant's first request still attempts it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from oracle import make_answerer, make_chaos_answerer
+from repro.cache import QueryCache
+from repro.datasets import dblp_workload, lubm_workload
+from repro.query import to_sparql
+from repro.service import (
+    QueryService,
+    ServiceConfig,
+    Tenant,
+    TenantRegistry,
+)
+from repro.telemetry import MetricsRegistry
+from service_utils import get, post_query, render_rows
+
+CLIENTS = 16
+
+#: Cheap-but-real workload slices (the monsters are perf material, not
+#: concurrency material — they'd serialize the soak behind one query).
+LUBM_NAMES = ("Q01", "Q03", "Q04", "Q05", "Q10", "Q11", "Q14")
+DBLP_NAMES = ("Q01", "Q02", "Q04", "Q05", "Q07")
+
+#: Strategies the soak mixes across threads.
+SOAK_STRATEGIES = ("gcov", "scq", "ucq", "saturation")
+
+
+def _workload_slice(entries, names):
+    queries = {entry.name: entry.query for entry in entries if entry.name in names}
+    assert set(names) <= set(queries), "workload slice drifted"
+    return queries
+
+
+@pytest.fixture(scope="module")
+def mixed_service(lubm_db, dblp_db):
+    """One live server over both datasets, shared caches, 4 workers."""
+    service = QueryService(
+        {
+            "lubm": make_answerer(lubm_db, cache=QueryCache()),
+            "dblp": make_answerer(dblp_db, cache=QueryCache()),
+        },
+        config=ServiceConfig(workers=4, queue_depth=128),
+        registry=MetricsRegistry(),
+    ).start()
+    yield service
+    service.stop()
+
+
+def test_soak_matches_serial_oracle(mixed_service, lubm_db, dblp_db):
+    """16 threads × mixed strategies × cold+warm == the serial answers."""
+    host, port = mixed_service.address
+    plans = {
+        "lubm": _workload_slice(lubm_workload(), LUBM_NAMES),
+        "dblp": _workload_slice(dblp_workload(), DBLP_NAMES),
+    }
+    databases = {"lubm": lubm_db, "dblp": dblp_db}
+    expected = {}
+    texts = {}
+    for dataset, queries in plans.items():
+        oracle = make_answerer(databases[dataset])
+        for name, query in queries.items():
+            report = oracle.answer(query, strategy="saturation")
+            expected[(dataset, name)] = "\n".join(render_rows(report.answers)).encode()
+            texts[(dataset, name)] = to_sparql(query)
+
+    jobs = [
+        (dataset, name, strategy, leg)
+        for leg in ("cold", "warm")
+        for (dataset, name) in sorted(expected)
+        for strategy in SOAK_STRATEGIES
+    ]
+
+    def drive(job):
+        dataset, name, strategy, leg = job
+        status, _headers, payload = post_query(
+            host,
+            port,
+            {
+                "query": texts[(dataset, name)],
+                "dataset": dataset,
+                "strategy": strategy,
+            },
+        )
+        assert status == 200, (job, payload)
+        got = "\n".join(payload["rows"]).encode()
+        return job, got, payload
+
+    mismatches = []
+    with ThreadPoolExecutor(CLIENTS) as clients:
+        for job, got, payload in clients.map(drive, jobs):
+            dataset, name, strategy, leg = job
+            if got != expected[(dataset, name)]:
+                mismatches.append((dataset, name, strategy, leg))
+            assert payload["answer_count"] == len(payload["rows"])
+    assert mismatches == [], f"answers diverged from the serial oracle: {mismatches}"
+
+    # The soak must be visible in the service's own telemetry.
+    status, _headers, text = get(host, port, "/metrics")
+    assert status == 200
+    assert "repro_service_request_seconds" in text
+    assert "repro_service_queue_wait_seconds" in text
+    status, _headers, snapshot = get(host, port, "/status")
+    assert snapshot["counters"]["answered"] >= len(jobs)
+
+
+def test_chaos_breakers_do_not_cross_trip(lubm_db):
+    """Per-tenant circuit breakers: one tenant's failures stay its own.
+
+    The engine injects a failure on every non-saturation evaluation
+    (permanent classification — no retries), so every request degrades
+    to the clean saturation rung.  After the hammering tenant crosses
+    the breaker threshold its first rung is *skipped*; the quiet
+    tenant's breaker must still be closed — its first rung is
+    *attempted* (outcome ``error``, not ``skipped``).
+    """
+    chaos_answerer = make_chaos_answerer(
+        lubm_db, seed=7, timeout_rate=0.0, failure_rate=1.0, transient=False
+    )
+    registry = TenantRegistry(
+        [Tenant("gold", api_key="gold-key"), Tenant("bronze", api_key="bronze-key")]
+    )
+    service = QueryService(
+        {"lubm": chaos_answerer},
+        tenants=registry,
+        config=ServiceConfig(workers=2),
+        registry=MetricsRegistry(),
+    ).start()
+    try:
+        host, port = service.address
+        entry = next(e for e in lubm_workload() if e.name == "Q01")
+        text = to_sparql(entry.query)
+        baseline = render_rows(
+            make_answerer(lubm_db).answer(entry.query, strategy="saturation").answers
+        )
+        threshold = registry.resolve("gold-key").policy.breaker.failure_threshold
+
+        first_rungs = []
+        for _ in range(threshold + 1):
+            status, _headers, payload = post_query(
+                host, port, {"query": text, "strategy": "gcov"}, api_key="gold-key"
+            )
+            assert status == 200, payload
+            # Every degraded answer is still byte-exact.
+            assert payload["rows"] == baseline
+            assert payload["degraded"] is True
+            assert payload["strategy_used"] == "saturation"
+            first_rungs.append(payload["attempts"][0])
+        # gold hammered gcov into an open circuit...
+        assert [a["outcome"] for a in first_rungs[:threshold]] == ["error"] * threshold
+        assert first_rungs[threshold]["outcome"] == "skipped"
+
+        # ...which must be invisible to bronze: its gcov rung is still
+        # attempted (and fails on the injected fault, not on a skip).
+        status, _headers, payload = post_query(
+            host, port, {"query": text, "strategy": "gcov"}, api_key="bronze-key"
+        )
+        assert status == 200, payload
+        assert payload["rows"] == baseline
+        assert payload["attempts"][0]["strategy"] == "gcov"
+        assert payload["attempts"][0]["outcome"] == "error"
+    finally:
+        service.stop()
+
+
+def test_unknown_strategy_and_dataset_rejected(mixed_service):
+    host, port = mixed_service.address
+    status, _headers, payload = post_query(
+        host, port, {"query": "SELECT ?x WHERE { ?x a ?x }", "strategy": "bogus"}
+    )
+    assert status == 400 and payload["code"] == "bad_request"
+    status, _headers, payload = post_query(
+        host, port, {"query": "SELECT ?x WHERE { ?x a ?x }", "dataset": "nope"}
+    )
+    assert status == 404 and payload["code"] == "unknown_dataset"

@@ -1,0 +1,305 @@
+"""Service lifecycle: backpressure, quotas, graceful drain.
+
+Deterministic concurrency via a gate: a wrapping engine blocks every
+evaluation on a :class:`threading.Event`, so tests place requests in
+exact states (executing / queued / rejected) without sleeps-as-sync.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from oracle import make_answerer
+from repro.datasets import lubm_workload
+from repro.engine import NativeEngine
+from repro.query import to_sparql
+from repro.service import (
+    QueryService,
+    ServiceConfig,
+    Tenant,
+    TenantQuota,
+    TenantRegistry,
+)
+from repro.telemetry import MetricsRegistry
+from service_utils import get, post_query, render_rows, wait_until
+
+
+class GateEngine:
+    """Blocks every ``evaluate`` until :meth:`open` (test scheduling)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.gate = threading.Event()
+        #: Released once per evaluation that has *entered* the engine.
+        self.entered = threading.Semaphore(0)
+
+    def evaluate(self, query, **kwargs):
+        self.entered.release()
+        if not self.gate.wait(timeout=60):
+            raise RuntimeError("gate never opened")
+        return self.inner.evaluate(query, **kwargs)
+
+    def open(self):
+        self.gate.set()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def _q01():
+    entry = next(e for e in lubm_workload() if e.name == "Q01")
+    return entry.query, to_sparql(entry.query)
+
+
+def _fire(host, port, payload, results, key, api_key=None):
+    """POST /query on a thread, stashing the response under ``key``."""
+
+    def run():
+        results[key] = post_query(host, port, payload, api_key=api_key)
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+def test_queue_full_answers_429_with_retry_after(lubm_db):
+    """1 worker + depth-1 queue: the third concurrent request bounces."""
+    gate = GateEngine(NativeEngine(lubm_db))
+    service = QueryService(
+        {"lubm": make_answerer(lubm_db, engine=gate)},
+        config=ServiceConfig(workers=1, queue_depth=1, resilient=False),
+        registry=MetricsRegistry(),
+    ).start()
+    try:
+        host, port = service.address
+        _query, text = _q01()
+        payload = {"query": text, "strategy": "gcov"}
+        results = {}
+        t1 = _fire(host, port, payload, results, "r1")
+        assert gate.entered.acquire(timeout=30), "first request never executed"
+        t2 = _fire(host, port, payload, results, "r2")
+        assert wait_until(
+            lambda: get(host, port, "/status")[2]["queue_depth"] == 1
+        ), "second request never queued"
+
+        status, headers, body = post_query(host, port, payload)
+        assert status == 429, body
+        assert body["code"] == "queue_full"
+        assert int(headers["Retry-After"]) >= 1
+        assert body["retry_after_s"] > 0
+
+        gate.open()
+        t1.join(60)
+        t2.join(60)
+        assert results["r1"][0] == 200 and results["r2"][0] == 200
+        counters = get(host, port, "/status")[2]["counters"]
+        assert counters["rejected.queue_full"] == 1
+        assert counters["answered"] == 2
+    finally:
+        gate.open()
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# Per-tenant quotas
+# ----------------------------------------------------------------------
+def test_over_quota_tenant_throttled_while_others_proceed(lubm_db):
+    """A rows/sec-exhausted tenant gets 429s; its neighbors get answers."""
+    registry = TenantRegistry(
+        [
+            Tenant(
+                "small",
+                api_key="small-key",
+                quota=TenantQuota(rows_per_second=1.0, burst_rows=1.0),
+            ),
+            Tenant("big", api_key="big-key"),
+        ]
+    )
+    service = QueryService(
+        {"lubm": make_answerer(lubm_db)},
+        tenants=registry,
+        config=ServiceConfig(workers=2),
+        registry=MetricsRegistry(),
+    ).start()
+    try:
+        host, port = service.address
+        query, text = _q01()
+        payload = {"query": text, "strategy": "gcov"}
+        expected = render_rows(
+            make_answerer(lubm_db).answer(query, strategy="saturation").answers
+        )
+        assert len(expected) > 1, "Q01 must return enough rows to sink the bucket"
+
+        # Post-paid: the first answer is served, its rows drive the
+        # bucket negative...
+        status, _headers, body = post_query(host, port, payload, api_key="small-key")
+        assert status == 200 and body["rows"] == expected
+
+        # ...so the tenant's next request is refused, with the refill
+        # time spelled out.
+        status, headers, body = post_query(host, port, payload, api_key="small-key")
+        assert status == 429, body
+        assert body["code"] == "quota_rows"
+        assert body["retry_after_s"] > 0
+        assert int(headers["Retry-After"]) >= 1
+
+        # The unmetered tenant is untouched by its neighbor's debt.
+        status, _headers, body = post_query(host, port, payload, api_key="big-key")
+        assert status == 200 and body["rows"] == expected
+
+        snapshot = get(host, port, "/status")[2]["tenants"]
+        assert snapshot["small"]["rejected"] == 1
+        assert snapshot["small"]["tokens"] < 0
+        assert snapshot["big"]["rejected"] == 0
+    finally:
+        service.stop()
+
+
+def test_concurrency_cap_is_per_tenant(lubm_db):
+    """A tenant at its concurrent-query cap bounces; others admit."""
+    gate = GateEngine(NativeEngine(lubm_db))
+    registry = TenantRegistry(
+        [
+            Tenant("capped", api_key="capped-key", quota=TenantQuota(max_concurrent=1)),
+            Tenant("free", api_key="free-key"),
+        ]
+    )
+    service = QueryService(
+        {"lubm": make_answerer(lubm_db, engine=gate)},
+        tenants=registry,
+        config=ServiceConfig(workers=4, queue_depth=16, resilient=False),
+        registry=MetricsRegistry(),
+    ).start()
+    try:
+        host, port = service.address
+        _query, text = _q01()
+        payload = {"query": text, "strategy": "gcov"}
+        results = {}
+        t1 = _fire(host, port, payload, results, "r1", api_key="capped-key")
+        assert gate.entered.acquire(timeout=30)
+
+        status, _headers, body = post_query(
+            host, port, payload, api_key="capped-key", timeout_s=30
+        )
+        assert status == 429, body
+        assert body["code"] == "quota_concurrency"
+
+        t2 = _fire(host, port, payload, results, "r2", api_key="free-key")
+        assert gate.entered.acquire(timeout=30), "other tenant was not admitted"
+
+        gate.open()
+        t1.join(60)
+        t2.join(60)
+        assert results["r1"][0] == 200 and results["r2"][0] == 200
+    finally:
+        gate.open()
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+def test_drain_completes_in_flight_and_rejects_late(lubm_db):
+    """Drain: in-flight queries finish; late requests answer 503."""
+    gate = GateEngine(NativeEngine(lubm_db))
+    service = QueryService(
+        {"lubm": make_answerer(lubm_db, engine=gate)},
+        config=ServiceConfig(workers=1, queue_depth=4, resilient=False),
+        registry=MetricsRegistry(),
+    ).start()
+    try:
+        host, port = service.address
+        query, text = _q01()
+        payload = {"query": text, "strategy": "gcov"}
+        expected = render_rows(
+            make_answerer(lubm_db).answer(query, strategy="saturation").answers
+        )
+
+        # A keep-alive connection opened *before* the drain: the
+        # listener will close, but this peer can still talk.
+        late_conn = http.client.HTTPConnection(host, port, timeout=30)
+        late_conn.connect()
+        status, _headers, body = get(host, port, "/healthz")
+        assert body["status"] == "ok"
+
+        results = {}
+        t1 = _fire(host, port, payload, results, "inflight")
+        assert gate.entered.acquire(timeout=30)
+
+        service.request_drain()
+        status, _headers, body = post_query(host, port, payload, conn=late_conn)
+        assert status == 503, body
+        assert body["code"] == "draining"
+
+        gate.open()
+        t1.join(60)
+        status, _headers, body = results["inflight"]
+        assert status == 200, body
+        assert body["rows"] == expected
+    finally:
+        gate.open()
+        service.stop()
+    # The serving thread exited: stop() joined it and closed the pool.
+    assert service._serve_thread is None
+
+
+def test_repro_serve_drains_to_exit_zero(tmp_path):
+    """``repro serve`` under SIGTERM: drain, flush metrics, exit 0."""
+    port_file = tmp_path / "port"
+    metrics_file = tmp_path / "metrics.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--lubm",
+            "1",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--workers",
+            "2",
+            "--metrics-out",
+            str(metrics_file),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        assert wait_until(port_file.exists, timeout_s=60), "server never came up"
+        port = int(port_file.read_text().strip())
+        _query, text = _q01()
+        status, _headers, body = post_query(
+            "127.0.0.1", port, {"query": text}, timeout_s=60
+        )
+        assert status == 200 and body["answer_count"] > 0
+
+        proc.send_signal(signal.SIGTERM)
+        _out, err = proc.communicate(timeout=60)
+    except BaseException:
+        proc.kill()
+        raise
+    assert proc.returncode == 0, err
+    assert "# repro-serve drained:" in err
+    snapshot = json.loads(metrics_file.read_text())
+    assert any(
+        name.endswith("answered") for name in snapshot.get("counters", {})
+    ), snapshot
