@@ -96,6 +96,11 @@ def summarize(values: Iterable[Number], unit: str = "ms") -> Dict[str, Any]:
     ordered = sorted(float(v) for v in values)
     if not ordered:
         return {"unit": unit, "count": 0}
+    # With 1–2 samples there is no tail to interpolate into: linear
+    # interpolation between the only two points would report a "p90"
+    # *below* an observed value.  Degrade the tail percentiles to the
+    # max — the honest small-sample reading.
+    small = len(ordered) < 3
     return {
         "unit": unit,
         "count": len(ordered),
@@ -103,8 +108,8 @@ def summarize(values: Iterable[Number], unit: str = "ms") -> Dict[str, Any]:
         "min": round(ordered[0], 6),
         "max": round(ordered[-1], 6),
         "p50": round(_percentile(ordered, 0.5), 6),
-        "p90": round(_percentile(ordered, 0.9), 6),
-        "p99": round(_percentile(ordered, 0.99), 6),
+        "p90": round(ordered[-1] if small else _percentile(ordered, 0.9), 6),
+        "p99": round(ordered[-1] if small else _percentile(ordered, 0.99), 6),
         "values": [round(v, 6) for v in ordered],
     }
 

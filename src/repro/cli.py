@@ -946,6 +946,136 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return service.run()
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet``: a supervised replicated serving fleet (DESIGN.md §15).
+
+    Launches N ``repro serve`` replicas of the same datasets (or
+    attaches to already-running ones with ``--attach``) and routes one
+    HTTP front door across them: health-probed failover, bounded
+    retries, hedged tail requests, and crash-restart supervision.
+    SIGTERM drains the router, then the managed replicas, and exits 0.
+    """
+    import os
+    import tempfile
+    import threading
+    from pathlib import Path
+    from urllib.parse import urlparse
+
+    from .fleet import FleetRouter, HealthPolicy, Replica, RouterConfig
+    from .fleet.replicas import ReplicaProcess, spawn_fleet
+
+    policy = HealthPolicy(
+        interval_s=args.probe_interval,
+        timeout_s=args.probe_timeout,
+        fall=args.fall,
+        rise=args.rise,
+    )
+    replicas = []
+    if args.attach:
+        for index, url in enumerate(args.attach):
+            parsed = urlparse(url if "//" in url else f"http://{url}")
+            if parsed.hostname is None or parsed.port is None:
+                raise SystemExit(f"bad --attach {url!r}; expected http://HOST:PORT")
+            replicas.append(
+                Replica(
+                    f"r{index}", parsed.hostname, parsed.port, health_policy=policy
+                )
+            )
+    else:
+        if not (args.data or args.lubm is not None or args.dblp is not None):
+            print(
+                "repro fleet needs --attach or at least one --data/--lubm/--dblp",
+                file=sys.stderr,
+            )
+            return 2
+        serve_argv = [sys.executable, "-m", "repro", "serve"]
+        for declaration in args.data or []:
+            name, _, path = declaration.partition("=")
+            if not path:
+                raise SystemExit(f"bad --data {declaration!r}; expected NAME=PATH")
+            serve_argv += ["--data", f"{name}={Path(path).resolve()}"]
+        if args.lubm is not None:
+            serve_argv += ["--lubm", str(args.lubm)]
+        if args.dblp is not None:
+            serve_argv += ["--dblp", str(args.dblp)]
+        serve_argv += ["--seed", str(args.seed), "--engine", args.engine]
+        serve_argv += ["--strategy", args.strategy]
+        serve_argv += ["--drain-grace", str(args.drain_grace)]
+        if args.workers is not None:
+            serve_argv += ["--workers", str(args.workers)]
+        if args.limit is not None:
+            serve_argv += ["--limit", str(args.limit)]
+        if args.timeout is not None:
+            serve_argv += ["--timeout", str(args.timeout)]
+        if args.tenants:
+            serve_argv += ["--tenants", str(Path(args.tenants).resolve())]
+        workdir = Path(args.workdir or tempfile.mkdtemp(prefix="repro-fleet-"))
+        env = dict(os.environ)
+        src_root = str(Path(__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        processes = [
+            ReplicaProcess(f"r{index}", serve_argv, workdir, env=env)
+            for index in range(args.replicas)
+        ]
+        print(
+            f"# repro-fleet booting {len(processes)} replicas "
+            f"(logs under {workdir})",
+            file=sys.stderr,
+        )
+        ports = spawn_fleet(processes, startup_timeout_s=args.startup_timeout)
+        replicas = [
+            Replica(name, "127.0.0.1", port, process=process, health_policy=policy)
+            for (name, port), process in zip(ports, processes)
+        ]
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        max_attempts=args.max_attempts,
+        upstream_timeout_s=args.upstream_timeout,
+        default_timeout_s=args.timeout,
+        hedge=not args.no_hedge,
+        hedge_after_s=args.hedge_after,
+        health=policy,
+        drain_grace_s=args.drain_grace,
+        metrics_flush_path=args.metrics_out,
+    )
+    router = FleetRouter(replicas, config=config)
+
+    def announce() -> None:
+        if not router.wait_ready(30) or router.address is None:
+            return
+        host, port = router.address
+        print(
+            f"# repro-fleet routing http://{host}:{port} across "
+            f"{[f'{r.name}={r.url}' for r in replicas]}",
+            file=sys.stderr,
+        )
+        if args.state_file:
+            state = {
+                "router": {"host": host, "port": port, "pid": os.getpid()},
+                "replicas": [
+                    {
+                        "name": r.name,
+                        "host": r.host,
+                        "port": r.port,
+                        "pid": None if r.process is None else r.process.pid,
+                    }
+                    for r in replicas
+                ],
+            }
+            with open(args.state_file, "w", encoding="utf-8") as sink:
+                json.dump(state, sink, indent=2)
+                sink.write("\n")
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as sink:
+                sink.write(f"{port}\n")
+
+    threading.Thread(target=announce, name="repro-fleet-announce", daemon=True).start()
+    return router.run()
+
+
 def cmd_metrics_export(args: argparse.Namespace) -> int:
     """``repro metrics-export``: run a workload, dump the registry.
 
@@ -1464,6 +1594,144 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a final registry snapshot (JSON) during drain",
     )
     serve.set_defaults(handler=cmd_serve)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="run a supervised replicated serving fleet (DESIGN.md §15)",
+    )
+    fleet.add_argument(
+        "--data",
+        action="append",
+        metavar="NAME=PATH",
+        help="serve an N-Triples file as dataset NAME on every replica",
+    )
+    fleet.add_argument(
+        "--lubm", type=int, metavar="N", help="serve a synthetic LUBM dataset"
+    )
+    fleet.add_argument(
+        "--dblp", type=int, metavar="N", help="serve a synthetic DBLP dataset"
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="synthetic dataset seed")
+    fleet.add_argument("--engine", choices=("native", "sqlite"), default="native")
+    fleet.add_argument("--strategy", choices=STRATEGIES, default="gcov")
+    fleet.add_argument(
+        "--replicas", type=int, default=3, metavar="N", help="replicas to launch"
+    )
+    fleet.add_argument(
+        "--attach",
+        action="append",
+        metavar="URL",
+        help="route across already-running replicas instead of launching "
+        "(repeatable; disables supervision)",
+    )
+    fleet.add_argument("--host", default="127.0.0.1")
+    fleet.add_argument(
+        "--port", type=int, default=8426, help="router listen port (0 = ephemeral)"
+    )
+    fleet.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the router's bound port here once listening",
+    )
+    fleet.add_argument(
+        "--state-file",
+        metavar="PATH",
+        help="write fleet topology JSON (router + replica pids/ports) here",
+    )
+    fleet.add_argument(
+        "--workdir",
+        metavar="PATH",
+        help="replica logs and port files land here (default: a tempdir)",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=None, help="execution pool width per replica"
+    )
+    fleet.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="TERMS",
+        help="reformulation term limit applied on every replica",
+    )
+    fleet.add_argument(
+        "--tenants", metavar="PATH", help="tenants.json forwarded to every replica"
+    )
+    fleet.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request wall-clock cap (routing budget)",
+    )
+    fleet.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="routing attempts per request (first try included)",
+    )
+    fleet.add_argument(
+        "--upstream-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-attempt upstream response deadline",
+    )
+    fleet.add_argument(
+        "--no-hedge", action="store_true", help="disable hedged requests"
+    )
+    fleet.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fixed hedge delay (default: p95 of observed latency)",
+    )
+    fleet.add_argument(
+        "--probe-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="seconds between health-probe rounds",
+    )
+    fleet.add_argument(
+        "--probe-timeout",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="per-probe deadline (slow probes count as failures)",
+    )
+    fleet.add_argument(
+        "--fall",
+        type=int,
+        default=2,
+        help="consecutive probe failures that mark a replica down",
+    )
+    fleet.add_argument(
+        "--rise",
+        type=int,
+        default=2,
+        help="consecutive probe successes that re-admit a replica",
+    )
+    fleet.add_argument(
+        "--startup-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="how long to wait for launched replicas to announce ports",
+    )
+    fleet.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a drain waits for in-flight requests",
+    )
+    fleet.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a final registry snapshot (JSON) during drain",
+    )
+    fleet.set_defaults(handler=cmd_fleet)
     return parser
 
 

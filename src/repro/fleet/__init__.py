@@ -1,0 +1,35 @@
+"""The replicated serving fleet (DESIGN.md §15).
+
+A supervising router process in front of N ``repro serve`` replicas:
+active health checking with an UP/PROBATION/DOWN state machine
+(:mod:`repro.fleet.health`), per-replica circuit breakers and
+retry/hedge routing (:mod:`repro.fleet.router`), replica process
+supervision with exponential-backoff restarts
+(:mod:`repro.fleet.replicas`), and a seeded socket-level fault
+injector (:mod:`repro.fleet.chaosproxy`) that extends the resilience
+layer's chaos engine across the network boundary.
+
+Any replica of a dataset returns byte-identical answers (the store is
+fixed and answering is deterministic), so failover, retry, and hedging
+are safe by construction — the router never has to reason about
+divergent state.
+"""
+
+from .chaosproxy import ChaosProxy, ProxyChaosConfig
+from .health import DOWN, PROBATION, UP, HealthPolicy, ReplicaHealth
+from .replicas import Replica, ReplicaProcess
+from .router import FleetRouter, RouterConfig
+
+__all__ = [
+    "ChaosProxy",
+    "ProxyChaosConfig",
+    "DOWN",
+    "PROBATION",
+    "UP",
+    "HealthPolicy",
+    "ReplicaHealth",
+    "Replica",
+    "ReplicaProcess",
+    "FleetRouter",
+    "RouterConfig",
+]

@@ -1,0 +1,345 @@
+"""A seeded socket-level fault injector between router and replica.
+
+:class:`ChaosProxy` is a tiny threaded TCP proxy: the router connects
+to the proxy's listening port, the proxy connects onward to the real
+replica, and per accepted connection a seeded RNG decides which fault
+(if any) to inject.  This extends the PR 4 in-process
+:class:`~repro.resilience.chaos.ChaosEngine` across the network
+boundary — every degradation path a real deployment sees (dead peer,
+black-holed SYN, mid-body RST, slow link, corrupted payload) becomes a
+deterministic, replayable test fixture.
+
+Fault taxonomy (one response fault per connection, decided up front):
+
+=============  ============================================================
+``refuse``     accept then immediately reset (the client sees ECONNRESET
+               on its first read/write — indistinguishable from a dead
+               backend racing the accept queue)
+``hang``       accept, read the request, never answer; hold the socket
+               open for ``hang_s`` then close (forces client deadlines)
+``reset``      forward roughly half of the backend's first response
+               chunk, then hard-reset (RST mid-body)
+``truncate``   forward roughly half of the first response chunk, then
+               FIN cleanly — a short read that *looks* orderly
+``garble``     flip bits in the middle of the first response chunk and
+               otherwise forward faithfully (payload corruption)
+``delay``      sleep ``delay_s`` before forwarding the request onward
+               (additive latency; composes with any fault above)
+=============  ============================================================
+
+Determinism contract (mirrors ``ChaosEngine``): exactly six RNG draws
+per accepted connection, in a fixed order, under one lock — so the
+fault sequence depends only on the seed and the *order in which
+connections are accepted*, never on payload contents or timing inside
+a connection.  ``max_faults`` bounds the total number of injected
+response faults per campaign; ``delay`` is latency-only and exempt,
+like ``slow`` in the in-process engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Response-fault kinds, in the fixed draw order (determinism contract).
+FAULT_KINDS: Tuple[str, ...] = ("refuse", "hang", "reset", "truncate", "garble")
+
+_CHUNK = 65536
+
+
+@dataclass(frozen=True)
+class ProxyChaosConfig:
+    """One chaos campaign's seeded fault rates (all default to off)."""
+
+    seed: int = 0
+    refuse_rate: float = 0.0
+    hang_rate: float = 0.0
+    reset_rate: float = 0.0
+    truncate_rate: float = 0.0
+    garble_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: Added latency for ``delay`` connections (seconds).
+    delay_s: float = 0.05
+    #: How long a ``hang`` connection is held before closing.
+    hang_s: float = 5.0
+    #: Cap on injected response faults (None = unbounded).
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "refuse_rate",
+            "hang_rate",
+            "reset_rate",
+            "truncate_rate",
+            "garble_rate",
+            "delay_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+def _hard_reset(sock: socket.socket) -> None:
+    """Close with SO_LINGER(1, 0): the peer sees RST, not FIN."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _quiet_close(sock: Optional[socket.socket]) -> None:
+    if sock is None:
+        return
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+class ChaosProxy:
+    """A threaded TCP proxy injecting seeded faults per connection.
+
+    ``start()`` binds ``host:port`` (port 0 = ephemeral; read
+    ``address`` back), accepts in a background thread, and handles each
+    connection on its own daemon thread.  ``reconfigure()`` swaps the
+    campaign between benchmark legs; ``reset()`` replays a seed from
+    scratch.  ``counts`` / ``log`` / ``faults_injected`` mirror the
+    in-process chaos engine's bookkeeping.
+    """
+
+    def __init__(
+        self,
+        backend_host: str,
+        backend_port: int,
+        config: Optional[ProxyChaosConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.backend_host = backend_host
+        self.backend_port = backend_port
+        self.config = config if config is not None else ProxyChaosConfig()
+        self.host = host
+        self.port = port
+        self._rng = random.Random(self.config.seed)
+        self._lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._connections = 0
+        self.faults_injected = 0
+        self.counts: Dict[str, int] = {}
+        #: ``(connection_index, kind)`` per injected fault, in order.
+        self.log: List[Tuple[int, str]] = []
+        #: ``(host, port)`` once listening.
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        if self._listener is not None:
+            raise RuntimeError("proxy already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        with self._lock:
+            self._listener = listener
+            self.address = listener.getsockname()[:2]
+            self._stopping = False
+        thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        with self._lock:
+            self._accept_thread = thread
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopping = True
+            listener, self._listener = self._listener, None
+            thread, self._accept_thread = self._accept_thread, None
+        _quiet_close(listener)
+        if thread is not None:
+            thread.join(5.0)
+
+    def reconfigure(self, config: ProxyChaosConfig) -> None:
+        """Swap the campaign (fresh RNG from the new config's seed)."""
+        with self._lock:
+            self.config = config
+            self._rng = random.Random(config.seed)
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Replay from scratch: RNG, counters, and fault log."""
+        with self._lock:
+            if seed is not None:
+                self.config = dataclasses.replace(self.config, seed=seed)
+            self._rng = random.Random(self.config.seed)
+            self._connections = 0
+            self.faults_injected = 0
+            self.counts = {}
+            self.log = []
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "address": self.address,
+                "backend": (self.backend_host, self.backend_port),
+                "connections": self._connections,
+                "faults_injected": self.faults_injected,
+                "counts": dict(self.counts),
+            }
+
+    # ------------------------------------------------------------------
+    # The seeded fault decision (exactly six draws, fixed order)
+    # ------------------------------------------------------------------
+    def _decide(self) -> Tuple[int, Optional[str], bool]:
+        """``(connection_index, response_fault, delayed)`` for one accept."""
+        with self._lock:
+            index = self._connections
+            self._connections += 1
+            config = self.config
+            draws = [self._rng.random() for _ in range(6)]
+            budget_left = (
+                config.max_faults is None
+                or self.faults_injected < config.max_faults
+            )
+            fault: Optional[str] = None
+            rates = (
+                config.refuse_rate,
+                config.hang_rate,
+                config.reset_rate,
+                config.truncate_rate,
+                config.garble_rate,
+            )
+            if budget_left:
+                for kind, rate, draw in zip(FAULT_KINDS, rates, draws):
+                    if draw < rate:
+                        fault = kind
+                        break
+            delayed = config.delay_rate > 0.0 and draws[5] < config.delay_rate
+            if fault is not None:
+                self.faults_injected += 1
+                self.counts[fault] = self.counts.get(fault, 0) + 1
+                self.log.append((index, fault))
+            if delayed:
+                self.counts["delay"] = self.counts.get("delay", 0) + 1
+            return index, fault, delayed
+
+    # ------------------------------------------------------------------
+    # Socket plumbing
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            with self._lock:
+                listener = self._listener
+            if listener is None:
+                return
+            try:
+                client, _addr = listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            threading.Thread(
+                target=self._handle,
+                args=(client,),
+                name="chaos-proxy-conn",
+                daemon=True,
+            ).start()
+
+    def _handle(self, client: socket.socket) -> None:
+        _index, fault, delayed = self._decide()
+        config = self.config
+        if fault == "refuse":
+            _hard_reset(client)
+            return
+        if fault == "hang":
+            # Read (and drop) whatever the client sends, then go dark.
+            client.settimeout(config.hang_s)
+            try:
+                client.recv(_CHUNK)
+                threading.Event().wait(config.hang_s)
+            except OSError:
+                pass
+            _quiet_close(client)
+            return
+        backend: Optional[socket.socket] = None
+        try:
+            if delayed:
+                threading.Event().wait(config.delay_s)
+            backend = socket.create_connection(
+                (self.backend_host, self.backend_port), timeout=10.0
+            )
+        except OSError:
+            _hard_reset(client)
+            return
+        upstream = threading.Thread(
+            target=self._pump_up, args=(client, backend), daemon=True
+        )
+        upstream.start()
+        self._pump_down(backend, client, fault)
+        _quiet_close(backend)
+        upstream.join(10.0)
+
+    def _pump_up(self, client: socket.socket, backend: socket.socket) -> None:
+        """client → backend, faithfully, until either side closes."""
+        try:
+            while True:
+                data = client.recv(_CHUNK)
+                if not data:
+                    break
+                backend.sendall(data)
+        except OSError:
+            pass
+        try:
+            backend.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    def _pump_down(
+        self, backend: socket.socket, client: socket.socket, fault: Optional[str]
+    ) -> None:
+        """backend → client, mangling the first chunk per ``fault``."""
+        first = True
+        try:
+            while True:
+                data = backend.recv(_CHUNK)
+                if not data:
+                    break
+                if first and fault in ("reset", "truncate", "garble"):
+                    first = False
+                    if fault == "garble":
+                        client.sendall(_garble(data))
+                        continue
+                    client.sendall(data[: max(1, len(data) // 2)])
+                    if fault == "reset":
+                        _hard_reset(client)
+                    else:
+                        _quiet_close(client)
+                    return
+                first = False
+                client.sendall(data)
+        except OSError:
+            pass
+        _quiet_close(client)
+
+
+def _garble(data: bytes) -> bytes:
+    """Flip bits in the middle third of a chunk (framing survives,
+    payload doesn't — the router's JSON validation must catch it)."""
+    mutable = bytearray(data)
+    lo, hi = len(mutable) // 3, max(len(mutable) // 3 + 1, 2 * len(mutable) // 3)
+    for i in range(lo, min(hi, len(mutable))):
+        mutable[i] ^= 0x5A
+    return bytes(mutable)

@@ -1,0 +1,166 @@
+"""Replica health tracking: probes, EWMA latency, mark-down/mark-up.
+
+Each replica carries one :class:`ReplicaHealth` state machine fed by
+the router's active ``/healthz`` probes::
+
+    PROBATION ──rise consecutive ok──> UP
+        ^  \\                           |
+        |   any failure                | fall consecutive failures
+        |    v                         v
+        +── DOWN <─────────────────────+
+             |
+             +──first ok──> PROBATION
+
+New replicas start in PROBATION: they receive no routed traffic until
+``rise`` consecutive probes succeed, which is also what gates a
+restarted replica's re-admission after a crash.  ``force_down`` lets
+the supervisor mark a replica whose *process* died without waiting for
+``fall`` probe timeouts to accumulate.
+
+Probe latency feeds an EWMA used by the router's least-loaded replica
+ordering; it only updates on successful probes so one timed-out probe
+does not poison the estimate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+#: Health states.  Only UP replicas receive routed traffic.
+UP, PROBATION, DOWN = "up", "probation", "down"
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Probe cadence and the mark-down/mark-up streak thresholds."""
+
+    #: Seconds between probe rounds.
+    interval_s: float = 0.5
+    #: Per-probe deadline (a slow /healthz counts as a failure).
+    timeout_s: float = 1.0
+    #: Consecutive failures that take an UP replica DOWN.
+    fall: int = 2
+    #: Consecutive successes that take a PROBATION replica UP.
+    rise: int = 2
+    #: EWMA smoothing for probe latency (higher = more reactive).
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.fall < 1 or self.rise < 1:
+            raise ValueError("fall and rise must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+class ReplicaHealth:
+    """One replica's probe-driven health state (thread-safe).
+
+    The router's control thread calls :meth:`record_probe` /
+    :meth:`force_down` while the event loop reads :meth:`state` and
+    :meth:`routable`, so every transition happens under one lock.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[HealthPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = PROBATION
+        self._ok_streak = 0
+        self._fail_streak = 0
+        self._ewma_s: Optional[float] = None
+        self._last_error: Optional[str] = None
+        self._changed_at = clock()
+        #: Monotone transition counters (exported by the router).
+        self.mark_downs = 0
+        self.mark_ups = 0
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def record_probe(
+        self, ok: bool, latency_s: float = 0.0, error: Optional[str] = None
+    ) -> str:
+        """Fold one probe result in; returns the (possibly new) state."""
+        with self._lock:
+            if ok:
+                self._fail_streak = 0
+                self._ok_streak += 1
+                self._last_error = None
+                alpha = self.policy.ewma_alpha
+                self._ewma_s = (
+                    latency_s
+                    if self._ewma_s is None
+                    else (1.0 - alpha) * self._ewma_s + alpha * latency_s
+                )
+                if self._state == DOWN:
+                    self._transition(PROBATION)
+                    # This success is the first rung of the rise streak.
+                    self._ok_streak = 1
+                if self._state == PROBATION and self._ok_streak >= self.policy.rise:
+                    self._transition(UP)
+                    self.mark_ups += 1
+            else:
+                self._ok_streak = 0
+                self._fail_streak += 1
+                self._last_error = error
+                if self._state == UP and self._fail_streak >= self.policy.fall:
+                    self._transition(DOWN)
+                    self.mark_downs += 1
+                elif self._state == PROBATION:
+                    # A probationer gets no benefit of the doubt.
+                    self._transition(DOWN)
+            return self._state
+
+    def force_down(self, reason: str) -> None:
+        """Immediate mark-down (the supervisor saw the process die)."""
+        with self._lock:
+            self._last_error = reason
+            self._ok_streak = 0
+            self._fail_streak = max(self._fail_streak, self.policy.fall)
+            if self._state != DOWN:
+                if self._state == UP:
+                    self.mark_downs += 1
+                self._transition(DOWN)
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:  # lock: held by every caller
+            self._state = state  # lock: held by every caller
+            self._changed_at = self.clock()  # lock: held by every caller
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def routable(self) -> bool:
+        """Whether the router may send this replica live traffic."""
+        with self._lock:
+            return self._state == UP
+
+    def ewma_s(self) -> Optional[float]:
+        """Smoothed probe latency (None until the first success)."""
+        with self._lock:
+            return self._ewma_s
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly state for the router's ``/status``."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "ok_streak": self._ok_streak,
+                "fail_streak": self._fail_streak,
+                "ewma_s": None if self._ewma_s is None else round(self._ewma_s, 6),
+                "last_error": self._last_error,
+                "since_s": round(self.clock() - self._changed_at, 3),
+                "mark_downs": self.mark_downs,
+                "mark_ups": self.mark_ups,
+            }

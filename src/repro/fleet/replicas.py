@@ -1,0 +1,276 @@
+"""Replica bookkeeping and subprocess supervision.
+
+A :class:`Replica` is one routable backend: an address the router
+sends queries to (possibly a :class:`~repro.fleet.chaosproxy.ChaosProxy`
+front), an optional separate probe address (the replica's real port,
+so a chaotic data path does not flap health), a
+:class:`~repro.fleet.health.ReplicaHealth` state machine, and an
+in-flight counter for least-loaded ordering.
+
+A :class:`ReplicaProcess` is the managed form: the fleet launched this
+``repro serve`` child itself and is responsible for restarting it when
+it dies.  The first spawn binds an ephemeral port announced through a
+port file; every relaunch reuses that *same* port, so proxies and
+attached routers keep a stable address across crashes.  Restarts back
+off exponentially (a replica that dies on boot must not busy-loop the
+supervisor) and the backoff resets once the replica proves stable by
+reaching UP again.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import threading
+import time
+from pathlib import Path
+from typing import IO, Any, Callable, Dict, List, Optional, Tuple
+
+from .health import HealthPolicy, ReplicaHealth
+
+
+class Replica:
+    """One routable backend of the fleet (thread-safe counters)."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        probe_host: Optional[str] = None,
+        probe_port: Optional[int] = None,
+        process: Optional["ReplicaProcess"] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.probe_host = probe_host if probe_host is not None else host
+        self.probe_port = probe_port if probe_port is not None else port
+        self.process = process
+        self.health = ReplicaHealth(health_policy, clock=clock)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+
+    @property
+    def url(self) -> str:
+        """The routed (data-path) base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    def begin(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+
+    def end(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly state for the router's ``/status``."""
+        state: Dict[str, Any] = {
+            "name": self.name,
+            "url": self.url,
+            "probe": f"http://{self.probe_host}:{self.probe_port}",
+            "in_flight": self.in_flight(),
+            "health": self.health.snapshot(),
+        }
+        if self.process is not None:
+            state["process"] = self.process.snapshot()
+        return state
+
+    def __repr__(self) -> str:
+        return f"Replica({self.name!r}, {self.url}, {self.health.state()})"
+
+
+class ReplicaProcess:
+    """One supervised ``repro serve`` child (restart with backoff).
+
+    ``argv`` is the serve command *without* port arguments; the first
+    :meth:`spawn` appends ``--port 0 --port-file <name>.port`` and
+    :meth:`await_port` pins the announced ephemeral port, which every
+    later relaunch reuses verbatim.  All mutation happens on the
+    supervisor's control thread; ``snapshot`` reads are lock-guarded
+    for the event loop's ``/status``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        argv: List[str],
+        workdir: Path,
+        env: Optional[Dict[str, str]] = None,
+        backoff_s: float = 0.5,
+        max_backoff_s: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.name = name
+        self.argv = list(argv)
+        # Absolute: port-file/log paths are passed to a child whose cwd
+        # is this very directory, and relative paths would nest.
+        self.workdir = Path(workdir).resolve()
+        self.env = env
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._proc: Optional[subprocess.Popen] = None
+        self._log_handle: Optional[IO[bytes]] = None
+        self._port: Optional[int] = None
+        self._initial_backoff_s = backoff_s
+        self._backoff_s = backoff_s
+        self._max_backoff_s = max_backoff_s
+        self._next_attempt_at = 0.0
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # Process control
+    # ------------------------------------------------------------------
+    @property
+    def port_file(self) -> Path:
+        return self.workdir / f"{self.name}.port"
+
+    @property
+    def log_file(self) -> Path:
+        return self.workdir / f"{self.name}.log"
+
+    def spawn(self) -> None:
+        """Start (or restart) the child on its pinned port."""
+        with self._lock:
+            self._spawn_locked()
+
+    def _spawn_locked(self) -> None:
+        self.workdir.mkdir(parents=True, exist_ok=True)  # lock: held by callers
+        self.port_file.unlink(missing_ok=True)
+        argv = list(self.argv)
+        argv += ["--port", str(self._port or 0), "--port-file", str(self.port_file)]
+        if self._log_handle is None:
+            self._log_handle = open(self.log_file, "ab")  # lock: held by callers
+        self._proc = subprocess.Popen(  # lock: held by callers
+            argv,
+            cwd=str(self.workdir),
+            env=self.env,
+            stdout=self._log_handle,
+            stderr=subprocess.STDOUT,
+        )
+
+    def await_port(self, timeout_s: float = 60.0) -> int:
+        """Block until the child announces its port; pins it forever."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._port is not None:
+                    return self._port
+                proc = self._proc
+            if proc is not None and proc.poll() is not None:
+                raise RuntimeError(
+                    f"replica {self.name!r} exited with {proc.returncode} "
+                    f"before announcing a port (see {self.log_file})"
+                )
+            try:
+                text = self.port_file.read_text().strip()
+            except OSError:
+                text = ""
+            if text:
+                with self._lock:
+                    self._port = int(text)
+                    return self._port
+            time.sleep(0.05)
+        raise RuntimeError(
+            f"replica {self.name!r} did not announce a port within {timeout_s}s"
+        )
+
+    @property
+    def port(self) -> Optional[int]:
+        with self._lock:
+            return self._port
+
+    @property
+    def pid(self) -> Optional[int]:
+        with self._lock:
+            return None if self._proc is None else self._proc.pid
+
+    def poll(self) -> Optional[int]:
+        """The child's exit code, or None while it is running."""
+        with self._lock:
+            proc = self._proc
+        return None if proc is None else proc.poll()
+
+    def alive(self) -> bool:
+        return self.poll() is None
+
+    # ------------------------------------------------------------------
+    # Supervision (called from the router's control thread)
+    # ------------------------------------------------------------------
+    def due_for_restart(self) -> bool:
+        """Dead and past the current backoff window?"""
+        if self.alive():
+            return False
+        with self._lock:
+            return self.clock() >= self._next_attempt_at
+
+    def relaunch(self) -> None:
+        """Restart the dead child on its pinned port; grow the backoff."""
+        with self._lock:
+            self.restarts += 1
+            self._next_attempt_at = self.clock() + self._backoff_s
+            self._backoff_s = min(self._backoff_s * 2.0, self._max_backoff_s)
+            self._spawn_locked()
+
+    def note_stable(self) -> None:
+        """The replica reached UP again: forgive the backoff history."""
+        with self._lock:
+            self._backoff_s = self._initial_backoff_s
+
+    def terminate(self, grace_s: float = 10.0) -> Optional[int]:
+        """SIGTERM, wait up to ``grace_s``, then SIGKILL; close the log."""
+        with self._lock:
+            proc = self._proc
+            log_handle, self._log_handle = self._log_handle, None
+        code: Optional[int] = None
+        if proc is not None:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    code = proc.wait(grace_s)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    code = proc.wait(5.0)
+            else:
+                code = proc.returncode
+        if log_handle is not None:
+            log_handle.close()
+        return code
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            proc = self._proc
+            backoff = self._backoff_s
+        return {
+            "pid": None if proc is None else proc.pid,
+            "alive": proc is not None and proc.poll() is None,
+            "restarts": self.restarts,
+            "backoff_s": backoff,
+            "log": str(self.log_file),
+        }
+
+
+def spawn_fleet(
+    processes: List[ReplicaProcess], startup_timeout_s: float = 120.0
+) -> List[Tuple[str, int]]:
+    """Spawn every process, then wait for all port announcements.
+
+    Children boot their datasets in parallel (the slow part), so the
+    wall-clock cost is one boot, not N.  Returns ``(name, port)``
+    pairs in input order; raises after terminating the whole batch if
+    any child fails to come up.
+    """
+    for process in processes:
+        process.spawn()
+    try:
+        return [(p.name, p.await_port(startup_timeout_s)) for p in processes]
+    except Exception:
+        for process in processes:
+            process.terminate(grace_s=2.0)
+        raise

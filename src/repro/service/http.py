@@ -90,6 +90,7 @@ async def read_request(
         raise BadRequest(f"malformed request line: {line!r}")
     method, target, _version = parts
     headers: Dict[str, str] = {}
+    content_lengths: list = []
     header_bytes = 0
     while True:
         raw = await reader.readline()
@@ -103,15 +104,26 @@ async def read_request(
         name, sep, value = raw.decode("latin-1").partition(":")
         if not sep:
             raise BadRequest(f"malformed header line: {raw!r}")
-        headers[name.strip().lower()] = value.strip()
+        name = name.strip().lower()
+        value = value.strip()
+        if name == "content-length":
+            # Conflicting duplicates are a request-smuggling staple
+            # (RFC 9112 §6.3): never let last-wins paper over them.
+            content_lengths.append(value)
+        headers[name] = value
     body = b""
-    length_text = headers.get("content-length")
-    if length_text is not None:
-        try:
-            length = int(length_text)
-        except ValueError as error:
-            raise BadRequest(f"bad Content-Length {length_text!r}") from error
-        if length < 0 or length > max_body:
+    if len(set(content_lengths)) > 1:
+        raise BadRequest(f"conflicting Content-Length headers: {content_lengths}")
+    if content_lengths:
+        length_text = content_lengths[0]
+        # int() is looser than the RFC 9110 1*DIGIT grammar — it takes
+        # "+5", "1_0", unicode digits, surrounding whitespace.  A peer
+        # sending any of those disagrees with us about framing, which
+        # is exactly when parsing must stop, not guess.
+        if not (length_text.isascii() and length_text.isdigit()):
+            raise BadRequest(f"bad Content-Length {length_text!r}")
+        length = int(length_text)
+        if length > max_body:
             raise BadRequest(f"body of {length} bytes exceeds the {max_body} cap")
         if length:
             body = await reader.readexactly(length)
@@ -159,6 +171,25 @@ async def write_response(
         render_response(status, body, content_type, extra_headers, keep_alive)
     )
     await writer.drain()
+
+
+def render_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """The full request bytes for one upstream exchange.
+
+    The fleet router's client side of this parser: ``Content-Length``
+    is always emitted (our own ``read_request`` wants explicit
+    framing), everything else comes from ``headers``.
+    """
+    lines = [f"{method} {path} HTTP/1.1"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
 
 
 def json_body(payload: Any) -> Tuple[bytes, str]:

@@ -277,7 +277,10 @@ class QueryService:
         self._drain_requested = True
         loop, event = self._loop, self._drain_async
         if loop is not None and event is not None:
-            loop.call_soon_threadsafe(event.set)
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:
+                pass  # loop already closed: the drain has happened
 
     def run(self, install_signals: bool = True) -> int:
         """Serve until a drain completes (the ``repro serve`` body)."""

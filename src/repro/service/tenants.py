@@ -16,9 +16,10 @@ Admission is two-gated and post-paid:
   request is admitted while the bucket is positive and the *actual*
   rows it returned are charged on completion (result sizes are unknown
   at admission time), so a monster answer drives the bucket negative
-  and throttles that tenant's next requests for exactly
-  ``deficit / rate`` seconds — the ``Retry-After`` the rejection
-  carries.
+  and throttles that tenant's next requests until refill makes the
+  level positive again — :meth:`TokenBucket.retry_after_s` computes
+  that wait float-exactly, and it is the ``Retry-After`` the
+  rejection carries.
 
 Everything here is thread-safe: admission happens on the server's
 event loop while release happens on worker-pool threads.
@@ -26,6 +27,7 @@ event loop while release happens on worker-pool threads.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -108,12 +110,55 @@ class TokenBucket:
             self._tokens -= float(tokens)
 
     def retry_after_s(self) -> float:
-        """Seconds until the bucket regains one token (0 when ready)."""
+        """Seconds until :meth:`ready` flips true again (0 when ready).
+
+        Exact to the float: a request admitted at clock time
+        ``now + retry_after_s()`` always passes the :meth:`ready` gate,
+        while any representable instant strictly earlier still fails —
+        this is the ``Retry-After`` a 429 carries, so an honest client
+        sleeping exactly that long must not bounce a second time.
+        Computed by a ``math.nextafter`` search rather than algebra:
+        ``-tokens / rate`` suffers rounding in both the division and
+        the clock addition the *next* refill performs, and either can
+        land one ulp short.
+        """
         with self._lock:
             self._refill()
-            if self._tokens > 0.0:
+            now, tokens, rate = self._updated, self._tokens, self.rate
+            if tokens > 0.0:
                 return 0.0
-            return (1.0 - self._tokens) / self.rate
+
+            def level_at(instant: float) -> float:
+                # Exactly the refill arithmetic a future ready() runs
+                # (monotone in `instant`: IEEE ops are order-preserving).
+                return min(self.burst, tokens + (instant - now) * rate)
+
+            # Smallest representable instant with a positive level.
+            arrival = now + (-tokens) / rate
+            if arrival <= now:
+                arrival = math.nextafter(now, math.inf)
+            while level_at(arrival) <= 0.0:
+                arrival = math.nextafter(arrival, math.inf)
+            while True:
+                earlier = math.nextafter(arrival, -math.inf)
+                if earlier <= now or level_at(earlier) <= 0.0:
+                    break
+                arrival = earlier
+            # Smallest wait whose float sum lands at (or past) arrival.
+            # Bisection, not an ulp walk: when wait << now, billions of
+            # representable waits round to the same clock instant.
+            hi = (arrival - now) or math.ulp(0.0)
+            while now + hi < arrival:
+                hi *= 2.0
+            lo = 0.0  # now + 0 == now < arrival
+            while True:
+                mid = lo + (hi - lo) / 2.0
+                if mid <= lo or mid >= hi:
+                    return hi
+                if now + mid >= arrival:
+                    hi = mid
+                else:
+                    lo = mid
 
 
 @dataclass

@@ -48,6 +48,20 @@ class TestSummarize:
     def test_empty_distribution(self):
         assert summarize([]) == {"unit": "ms", "count": 0}
 
+    def test_small_samples_degrade_tail_to_max(self):
+        # One or two repeats have no tail: interpolating p90/p99 out of
+        # two points would report a "percentile" below an observed
+        # value.  They must degrade to the max instead.
+        one = summarize([5.0])
+        assert one["p90"] == one["p99"] == one["max"] == 5.0
+        two = summarize([10.0, 20.0])
+        assert two["p90"] == two["p99"] == two["max"] == 20.0
+        assert two["p50"] == 15.0  # the median still interpolates
+        # From three samples up the interpolation is in range again.
+        three = summarize([10.0, 20.0, 30.0])
+        assert three["p90"] == pytest.approx(28.0)
+        assert three["p99"] == pytest.approx(29.8)
+
     def test_central_reads_p50_then_mean_then_number(self):
         assert central({"p50": 7.0, "mean": 9.0}) == 7.0
         assert central({"mean": 9.0}) == 9.0

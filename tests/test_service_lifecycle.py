@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import os
 import signal
 import subprocess
@@ -17,6 +18,7 @@ import threading
 import time
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from oracle import make_answerer
 from repro.datasets import lubm_workload
@@ -29,6 +31,7 @@ from repro.service import (
     TenantQuota,
     TenantRegistry,
 )
+from repro.service.tenants import TokenBucket
 from repro.telemetry import MetricsRegistry
 from service_utils import get, post_query, render_rows, wait_until
 
@@ -303,3 +306,61 @@ def test_repro_serve_drains_to_exit_zero(tmp_path):
     assert any(
         name.endswith("answered") for name in snapshot.get("counters", {})
     ), snapshot
+
+
+# ----------------------------------------------------------------------
+# TokenBucket debt accounting
+# ----------------------------------------------------------------------
+class _ManualClock:
+    """A settable monotonic clock for bucket replay."""
+
+    def __init__(self, now: float) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _replay_bucket(rate, burst, charges, clock):
+    """A bucket with ``charges`` applied while the clock stands still."""
+    bucket = TokenBucket(rate, burst, clock=clock)
+    for cost in charges:
+        bucket.charge(cost)
+    return bucket
+
+
+@given(
+    rate=st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    burst=st.one_of(st.none(), st.floats(min_value=1e-3, max_value=1e6)),
+    charges=st.lists(st.floats(min_value=0.0, max_value=1e9), max_size=5),
+    start=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+)
+@settings(max_examples=300, deadline=None)
+def test_token_bucket_retry_after_is_exact(rate, burst, charges, start):
+    """``retry_after_s`` is float-exact, not approximately right.
+
+    An honest client that sleeps exactly the advertised ``Retry-After``
+    must be admitted; one that wakes any representable duration earlier
+    must still be throttled.  Two identically-charged buckets replay
+    the same history so each admission check is the *first* refill
+    after the wait (intermediate refills would re-quantize the level).
+    """
+    clock_a, clock_b = _ManualClock(start), _ManualClock(start)
+    bucket_a = _replay_bucket(rate, burst, charges, clock_a)
+    bucket_b = _replay_bucket(rate, burst, charges, clock_b)
+    wait = bucket_a.retry_after_s()
+    assert wait >= 0.0
+    if wait == 0.0:
+        assert bucket_a.ready()
+        return
+    # Sleeping exactly the advertised wait always admits.
+    clock_a.now = start + wait
+    assert bucket_a.ready(), (rate, burst, charges, start, wait)
+    # Any strictly shorter wait still bounces.  bucket_b replays the
+    # identical history (its retry_after_s refill included) so its
+    # level arithmetic matches bucket_a's float for float.
+    assert bucket_b.retry_after_s() == wait
+    shorter = math.nextafter(wait, 0.0)
+    if shorter > 0.0:
+        clock_b.now = start + shorter
+        assert not bucket_b.ready(), (rate, burst, charges, start, wait)
