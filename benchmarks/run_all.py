@@ -36,6 +36,7 @@ import bench_ablation_cost_terms
 import bench_ablation_calibration
 import bench_ablation_pruning
 import bench_cache
+import bench_litemat
 import bench_parallel
 
 from repro.bench import BenchReport, write_combined
@@ -56,6 +57,7 @@ TARGETS = {
     "ablation-calibration": bench_ablation_calibration.main,
     "ablation-pruning": bench_ablation_pruning.main,
     "cache": bench_cache.main,
+    "litemat": lambda: bench_litemat.main([]),
     "parallel": lambda: bench_parallel.main(["--quick"]),
 }
 

@@ -24,6 +24,11 @@ Strategies
 ``saturation``
     No reformulation: evaluate the original query on the pre-saturated
     store (the paper's Section 5.3 baseline).
+``litemat``
+    LiteMat-style interval encoding (DESIGN.md §16): class/property
+    atoms become contiguous range scans over an interval-ordered
+    derived store, collapsing the subclass/subproperty union fan-out
+    to (usually) one atom per skeleton.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from ..parallel import WorkerPool, evaluate_parallel
 from ..query.algebra import JUCQ, ucq_as_jucq
 from ..query.bgp import BGPQuery
 from ..reformulation.jucq import scq_reformulation
+from ..reformulation.litemat import IntervalReformulator
 from ..reformulation.reformulate import ReformulationLimitExceeded, Reformulator
 from ..resilience.budget import ExecutionBudget
 from ..resilience.errors import (
@@ -60,6 +66,7 @@ from ..resilience.errors import (
 )
 from ..resilience.fallback import AttemptRecord, CircuitBreaker, FallbackPolicy
 from ..storage.database import RDFDatabase
+from ..storage.interval_encoding import IntervalAssigner
 from ..telemetry import (
     NULL_TRACER,
     AccuracyRecord,
@@ -71,7 +78,7 @@ from ..telemetry import (
 )
 
 #: The strategy names accepted by :meth:`QueryAnswerer.answer`.
-STRATEGIES = ("ucq", "pruned-ucq", "scq", "ecov", "gcov", "saturation")
+STRATEGIES = ("ucq", "pruned-ucq", "scq", "ecov", "gcov", "saturation", "litemat")
 
 
 @dataclass
@@ -188,9 +195,18 @@ class QueryAnswerer:
         #: Multi-level query cache (DESIGN.md §9).  None disables plan
         #: caching entirely; when set, the reformulator's memo and the
         #: engine's SQL cache (if any) are registered for unified stats.
+        #: LiteMat interval machinery (DESIGN.md §16): the assigner owns
+        #: the derived interval-encoded store (epoch-keyed, rebuilt on
+        #: schema/data mutation); the reformulator memoizes interval
+        #: plans guarded by (schema fingerprint, encoding epoch).
+        self.interval_assigner = IntervalAssigner()
+        self.interval_reformulator = IntervalReformulator(database.schema)
         self.cache = cache
         if cache is not None:
             cache.register("reformulation", self.reformulator.cache)
+            cache.register(
+                "interval-reformulation", self.interval_reformulator.cache
+            )
             engine_sql_cache = getattr(self.engine, "sql_cache", None)
             if engine_sql_cache is not None:
                 cache.register("sql", engine_sql_cache)
@@ -222,6 +238,8 @@ class QueryAnswerer:
         self._breaker: Optional[CircuitBreaker] = None
         self._saturated_engine = None
         self._saturated_key = None
+        self._litemat_engine = None
+        self._litemat_key = None
         #: Guards the lazily-built shared members (saturated engine,
         #: default breaker) against duplicate construction when
         #: concurrent callers share one answerer.
@@ -465,6 +483,16 @@ class QueryAnswerer:
             return result.jucq, result
         if strategy == "saturation":
             return query, None
+        if strategy == "litemat":
+            with tracer.span("reformulate", strategy=strategy) as span:
+                encoding, _store, epoch = self.interval_assigner.current(
+                    self.database
+                )
+                reformulated = self.interval_reformulator.reformulate(
+                    query, encoding, epoch
+                )
+                span.set(union_terms=len(reformulated))
+            return ucq_as_jucq(reformulated), None
         raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
 
     # ------------------------------------------------------------------
@@ -618,7 +646,7 @@ class QueryAnswerer:
         predicted_cost = None
         predicted_rows = None
         accuracy = AccuracyRecorder()
-        if record_accuracy and strategy != "saturation":
+        if record_accuracy and strategy not in ("saturation", "litemat"):
             predicted_cost, predicted_rows = self._record_accuracy(
                 accuracy, query, planned, metrics, evaluation_s, len(answers)
             )
@@ -832,9 +860,10 @@ class QueryAnswerer:
     ):
         """Sample predicted-vs-observed for the query and its operands.
 
-        The saturation strategy is excluded by the caller: its engine
-        runs over the *saturated* store while the cost model is bound to
-        the original one, so the comparison would be meaningless.
+        The saturation and litemat strategies are excluded by the
+        caller: their engines run over a *derived* store while the cost
+        model is bound to the original one, so the comparison would be
+        meaningless.
         """
         estimator = self.cost_model.estimator
         predicted_cost = self.cost_model.cost(planned)
@@ -864,6 +893,23 @@ class QueryAnswerer:
         return predicted_cost, predicted_rows
 
     def _engine_for(self, strategy: str):
+        if strategy == "litemat":
+            # The interval-encoded store is a derived artifact exactly
+            # like the saturated one; the assigner rebuilds it (and
+            # bumps its epoch) whenever the schema or the data mutated,
+            # so a stale engine is never served.
+            _encoding, store, epoch = self.interval_assigner.current(self.database)
+            with self._lock:
+                if self._litemat_engine is None or self._litemat_key != epoch:
+                    factory = getattr(self.engine, "for_database", None)
+                    if factory is not None:
+                        self._litemat_engine = factory(store)
+                    else:
+                        self._litemat_engine = type(self.engine)(
+                            store, *self._engine_extra_args()
+                        )
+                    self._litemat_key = epoch
+                return self._litemat_engine
         if strategy != "saturation":
             return self.engine
         # The saturated store is a derived artifact: rebuild it whenever

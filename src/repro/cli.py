@@ -500,12 +500,17 @@ def cmd_explain(args: argparse.Namespace) -> int:
         print(f"estimated cost: {search.estimated_cost:.6f}")
     if args.strategy != "saturation":
         print(f"union terms: {planned.total_union_terms()}")
+    # The litemat plan embeds interval codes of the derived store, so
+    # SQL and plan estimates must be rendered against it (DESIGN.md §16).
+    explain_db = database
+    if args.strategy == "litemat":
+        _encoding, explain_db, _epoch = answerer.interval_assigner.current(database)
     if args.sql:
         print("\n-- SQL --")
-        print(to_sql(planned, database.dictionary))
+        print(to_sql(planned, explain_db.dictionary))
     else:
         print("\n-- plan --")
-        print(NativeEngine(database).explain(planned))
+        print(NativeEngine(explain_db).explain(planned))
     return 0
 
 

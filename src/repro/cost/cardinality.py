@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..query.algebra import JUCQ, UCQ
 from ..query.bgp import BGPQuery
-from ..rdf.terms import Triple, Variable
+from ..rdf.terms import IdRange, Triple, Variable
 from ..storage.database import RDFDatabase
 from ..storage.triple_table import Pattern
 
@@ -44,11 +44,17 @@ class CardinalityEstimator:
     # Atoms
     # ------------------------------------------------------------------
     def atom_pattern(self, atom: Triple) -> Optional[Pattern]:
-        """The encoded index pattern of an atom; None when a constant is unknown."""
+        """The encoded index pattern of an atom; None when a constant is unknown.
+
+        An :class:`~repro.rdf.terms.IdRange` position is left unbound in
+        the pattern (the range constraint is applied by
+        :meth:`atom_count`; distinct-count estimates over the unbounded
+        pattern are safe overestimates).
+        """
         pattern: List[Optional[int]] = []
         lookup = self.database.dictionary.lookup
         for term in atom:
-            if isinstance(term, Variable):
+            if isinstance(term, (Variable, IdRange)):
                 pattern.append(None)
             else:
                 code = lookup(term)
@@ -57,11 +63,24 @@ class CardinalityEstimator:
                 pattern.append(code)
         return tuple(pattern)
 
+    @staticmethod
+    def _atom_range(atom: Triple) -> Optional[Tuple[int, IdRange]]:
+        for position, term in enumerate(atom):
+            if isinstance(term, IdRange):
+                return position, term
+        return None
+
     def atom_count(self, atom: Triple) -> int:
         """Exact number of stored triples matching the atom."""
         pattern = self.atom_pattern(atom)
         if pattern is None:
             return 0
+        interval = self._atom_range(atom)
+        if interval is not None:
+            position, term = interval
+            return self.database.table.match_range_count(
+                pattern, position, term.lo, term.hi
+            )
         return self.database.statistics.pattern_count(pattern)
 
     def atom_distinct(self, atom: Triple, variable: Variable) -> int:

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..query.algebra import JUCQ, UCQ
 from ..query.bgp import BGPQuery
-from ..rdf.terms import Term, Variable
+from ..rdf.terms import IdRange, Term, Variable
 from ..storage.database import RDFDatabase
 from ..telemetry.metrics import MetricsRecorder
 from ..telemetry.registry import get_registry
@@ -296,16 +296,31 @@ class NativeEngine:
         for atom in cq.body:
             pattern = []
             missing = False
-            for term in atom:
+            range_position: Optional[int] = None
+            range_term: Optional[IdRange] = None
+            for position, term in enumerate(atom):
                 if isinstance(term, Variable):
                     pattern.append(None)
+                elif isinstance(term, IdRange):
+                    pattern.append(None)
+                    range_position = position
+                    range_term = term
                 else:
                     code = dictionary.lookup(term)
                     if code is None:
                         missing = True
                         break
                     pattern.append(code)
-            counts.append(0 if missing else stats.pattern_count(tuple(pattern)))
+            if missing:
+                counts.append(0)
+            elif range_term is not None and range_position is not None:
+                counts.append(
+                    self.database.table.match_range_count(
+                        tuple(pattern), range_position, range_term.lo, range_term.hi
+                    )
+                )
+            else:
+                counts.append(stats.pattern_count(tuple(pattern)))
         return counts
 
     # ------------------------------------------------------------------

@@ -18,9 +18,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..rdf.terms import Triple, Variable
+from ..rdf.terms import IdRange, Triple, Variable
 from ..storage.dictionary import Dictionary
-from ..storage.triple_table import TripleTable, index_for_pattern
+from ..storage.triple_table import TripleTable, index_for_pattern, index_for_range
 from ..telemetry.metrics import MetricsRecorder
 from .relation import Relation, dedup_rows, pack_columns
 
@@ -36,14 +36,24 @@ def scan_atom(
     Constants are dictionary-encoded and pushed into the index lookup; a
     constant unknown to the dictionary yields the empty relation
     immediately.  A variable repeated inside the atom (e.g. ``x p x``)
-    becomes an equality selection.
+    becomes an equality selection.  An :class:`~repro.rdf.terms.IdRange`
+    term (the LiteMat interval atom, DESIGN.md §16) becomes a single
+    contiguous range scan ``lo <= code < hi`` on its position.
     """
     pattern: List[Optional[int]] = []
     var_positions: List[Tuple[str, int]] = []
+    range_position: Optional[int] = None
+    range_term: Optional[IdRange] = None
     for position, term in enumerate(atom):
         if isinstance(term, Variable):
             pattern.append(None)
             var_positions.append((term.value, position))
+        elif isinstance(term, IdRange):
+            if range_term is not None:
+                raise ValueError(f"at most one IdRange per atom: {atom}")
+            pattern.append(None)
+            range_position = position
+            range_term = term
         else:
             code = dictionary.lookup(term)
             if code is None:
@@ -53,11 +63,21 @@ def scan_atom(
                 distinct = _distinct_names(var_positions, atom)
                 return Relation.empty(distinct)
             pattern.append(code)
-    rows = table.match(tuple(pattern))
+    if range_term is None:
+        rows = table.match(tuple(pattern))
+        index_name = index_for_pattern(tuple(pattern))
+    else:
+        assert range_position is not None
+        rows = table.match_range(
+            tuple(pattern), range_position, range_term.lo, range_term.hi
+        )
+        index_name = index_for_range(tuple(pattern), range_position)
+        if metrics is not None:
+            metrics.inc("scan.range_atoms")
     if metrics is not None:
         metrics.inc("scan.atoms")
         metrics.inc("scan.rows", rows.shape[0])
-        metrics.inc(f"scan.index.{index_for_pattern(tuple(pattern))}", rows.shape[0])
+        metrics.inc(f"scan.index.{index_name}", rows.shape[0])
     # Intra-atom equality selection for repeated variables.
     seen: dict = {}
     keep_mask = None

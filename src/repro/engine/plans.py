@@ -27,7 +27,7 @@ import numpy as np
 
 from ..query.algebra import JUCQ, UCQ
 from ..query.bgp import BGPQuery
-from ..rdf.terms import Term, Triple, Variable
+from ..rdf.terms import IdRange, Term, Triple, Variable
 from ..storage.database import RDFDatabase
 from .evaluator import EngineProfile, NATIVE_HASH
 from .operators import cross_product, distinct, hash_join, merge_join, scan_atom, union_all
@@ -218,14 +218,25 @@ class PlanCompiler:
     # -- helpers -------------------------------------------------------
     def _atom_count(self, atom: Triple) -> int:
         pattern = []
-        for term in atom:
+        range_position: Optional[int] = None
+        range_term: Optional[IdRange] = None
+        for position, term in enumerate(atom):
             if isinstance(term, Variable):
                 pattern.append(None)
+            elif isinstance(term, IdRange):
+                pattern.append(None)
+                range_position = position
+                range_term = term
             else:
                 code = self.database.dictionary.lookup(term)
                 if code is None:
                     return 0
                 pattern.append(code)
+        if range_term is not None:
+            assert range_position is not None
+            return self.database.table.match_range_count(
+                tuple(pattern), range_position, range_term.lo, range_term.hi
+            )
         return self.database.statistics.pattern_count(tuple(pattern))
 
     def _join(self, left: PlanNode, right: PlanNode, shares: bool) -> JoinNode:

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..query.algebra import JUCQ, UCQ
 from ..query.bgp import BGPQuery
-from ..rdf.terms import Term, Variable
+from ..rdf.terms import IdRange, Term, Variable
 from ..storage.dictionary import Dictionary
 
 _POSITION_COLUMNS = ("s", "p", "o")
@@ -63,6 +63,12 @@ def cq_to_sql(
                     var_ref[term.value] = reference
                 else:
                     conditions.append(f"{reference} = {first}")
+            elif isinstance(term, IdRange):
+                # LiteMat interval atom (DESIGN.md §16): one range
+                # predicate instead of a union over the closure.
+                conditions.append(
+                    f"{reference} BETWEEN {term.lo} AND {term.hi - 1}"
+                )
             else:
                 code = _encode(dictionary, term)
                 if code is None:

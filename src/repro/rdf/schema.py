@@ -37,19 +37,120 @@ from .vocabulary import (
 )
 
 
-def _transitive_closure(direct: Dict[Term, Set[Term]]) -> Dict[Term, Set[Term]]:
-    """Strict transitive closure of a binary relation given as adjacency sets."""
+def _strongly_connected_components(direct: Dict[Term, Set[Term]]) -> list:
+    """Strongly connected components of the relation graph (iterative Tarjan).
+
+    Components are emitted in reverse topological order of the
+    condensation: every component is emitted after all components it can
+    reach.  Deterministic: nodes and successors are visited in sorted
+    order, and members within a component are sorted.
+    """
+    nodes: Set[Term] = set(direct)
+    for targets in direct.values():
+        nodes.update(targets)
+    index_of: Dict[Term, int] = {}
+    lowlink: Dict[Term, int] = {}
+    on_stack: Set[Term] = set()
+    stack: list = []
+    components: list = []
+    counter = 0
+    for root in sorted(nodes):
+        if root in index_of:
+            continue
+        work = [(root, iter(sorted(direct.get(root, ()))))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(direct.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+    return components
+
+
+def _closure_and_cycles(
+    direct: Dict[Term, Set[Term]],
+) -> "tuple[Dict[Term, Set[Term]], Dict[Term, FrozenSet[Term]]]":
+    """Transitive closure plus the cycle-equivalence groups of a relation.
+
+    Built on SCC condensation, so cyclic declarations (``A ⊑ B ⊑ A``)
+    neither hang nor mis-order the walk: all members of a cycle are
+    treated as *equivalent* — each member's closure contains every
+    member of its component (itself included: ``A ⊑ A`` is entailed by
+    going around the cycle) plus everything any member reaches.  The
+    second result maps each member of a non-trivial cycle (length ≥ 2,
+    or a self-loop) to the frozenset of its equivalents.
+    """
+    components = _strongly_connected_components(direct)
+    component_of: Dict[Term, int] = {}
+    for i, component in enumerate(components):
+        for node in component:
+            component_of[node] = i
+    cycles: Dict[Term, FrozenSet[Term]] = {}
+    reach: list = []
+    for i, component in enumerate(components):
+        out: Set[Term] = set()
+        cyclic = len(component) > 1 or any(
+            node in direct.get(node, ()) for node in component
+        )
+        if cyclic:
+            members = frozenset(component)
+            out.update(members)
+            for node in component:
+                cycles[node] = members
+        for node in component:
+            for succ in direct.get(node, ()):
+                j = component_of[succ]
+                if j != i:
+                    # Successor components were emitted earlier, so
+                    # their reach sets are already complete.
+                    out.update(components[j])
+                    out.update(reach[j])
+        reach.append(out)
     closure: Dict[Term, Set[Term]] = {}
     for start in direct:
-        seen: Set[Term] = set()
-        stack = list(direct.get(start, ()))
-        while stack:
-            node = stack.pop()
-            if node in seen:
-                continue
-            seen.add(node)
-            stack.extend(direct.get(node, ()))
-        closure[start] = seen
+        reached = reach[component_of[start]]
+        if reached:
+            closure[start] = set(reached)
+        else:
+            closure[start] = set()
+    return closure, cycles
+
+
+def _transitive_closure(direct: Dict[Term, Set[Term]]) -> Dict[Term, Set[Term]]:
+    """Transitive closure of a binary relation given as adjacency sets.
+
+    Strict on DAGs (a node is never its own successor); members of a
+    declaration cycle are mutually — and self — related, per the
+    cycle-equivalence policy of :func:`_closure_and_cycles`.
+    """
+    closure, _ = _closure_and_cycles(direct)
     return closure
 
 
@@ -228,11 +329,16 @@ class RDFSchema:
     # Closure queries (all answers are w.r.t. the schema closure)
     # ------------------------------------------------------------------
     def subclasses(self, cls: Term) -> FrozenSet[Term]:
-        """Strict subclasses of ``cls`` in the closure."""
+        """Strict subclasses of ``cls`` in the closure.
+
+        Strict on acyclic hierarchies; members of a declaration cycle
+        are mutually sub- and super-classes of each other (and of
+        themselves — see :meth:`equivalent_classes`).
+        """
         return frozenset(self._closed().sub_of_class.get(cls, frozenset()))
 
     def superclasses(self, cls: Term) -> FrozenSet[Term]:
-        """Strict superclasses of ``cls`` in the closure."""
+        """Strict superclasses of ``cls`` in the closure (see :meth:`subclasses`)."""
         return frozenset(self._closed().super_of_class.get(cls, frozenset()))
 
     def subproperties(self, prop: Term) -> FrozenSet[Term]:
@@ -258,6 +364,29 @@ class RDFSchema:
     def properties_with_range(self, cls: Term) -> FrozenSet[Term]:
         """Properties whose closed range includes ``cls``."""
         return frozenset(self._closed().range_of.get(cls, frozenset()))
+
+    def equivalent_classes(self, cls: Term) -> FrozenSet[Term]:
+        """The declaration-cycle equivalents of ``cls`` (itself included).
+
+        Cyclic ``rdfs:subClassOf`` assertions (``A ⊑ B ⊑ A``) make their
+        members mutually equivalent; for a class on no cycle this is the
+        singleton ``{cls}``.
+        """
+        return self._closed().class_cycles.get(cls, frozenset((cls,)))
+
+    def equivalent_properties(self, prop: Term) -> FrozenSet[Term]:
+        """The declaration-cycle equivalents of ``prop`` (itself included)."""
+        return self._closed().property_cycles.get(prop, frozenset((prop,)))
+
+    def class_cycles(self) -> "tuple[FrozenSet[Term], ...]":
+        """All non-trivial subclass declaration cycles, sorted."""
+        groups = set(self._closed().class_cycles.values())
+        return tuple(sorted(groups, key=sorted))
+
+    def property_cycles(self) -> "tuple[FrozenSet[Term], ...]":
+        """All non-trivial subproperty declaration cycles, sorted."""
+        groups = set(self._closed().property_cycles.values())
+        return tuple(sorted(groups, key=sorted))
 
     def is_subclass(self, sub: Term, sup: Term) -> bool:
         """True when ``sub ⊑sc sup`` holds in the closure (strictly)."""
@@ -342,8 +471,8 @@ class _SchemaClosure:
     """Materialized closure relations of one :class:`RDFSchema` snapshot."""
 
     def __init__(self, schema: RDFSchema) -> None:
-        super_of_class = _transitive_closure(schema._subclass)
-        super_of_property = _transitive_closure(schema._subproperty)
+        super_of_class, class_cycles = _closure_and_cycles(schema._subclass)
+        super_of_property, property_cycles = _closure_and_cycles(schema._subproperty)
 
         # Close domains/ranges: inherit down the subproperty hierarchy,
         # widen up the subclass hierarchy.
@@ -365,6 +494,8 @@ class _SchemaClosure:
         self.sub_of_class = _invert(super_of_class)
         self.super_of_property = super_of_property
         self.sub_of_property = _invert(super_of_property)
+        self.class_cycles = class_cycles
+        self.property_cycles = property_cycles
         self.domains = domains
         self.ranges = ranges
         self.domain_of = _invert(domains)

@@ -144,6 +144,45 @@ class Variable(Term):
         return f"?{self.value}"
 
 
+class IdRange(Term):
+    """A dictionary-code interval ``[lo, hi)`` used as a triple-pattern term.
+
+    The LiteMat interval encoding (DESIGN.md §16) lays out class and
+    property codes so that every class's subclass closure (and every
+    property's subproperty closure) occupies a contiguous code block.
+    An ``IdRange`` in the object position of an ``rdf:type`` atom, or in
+    the predicate position of a property atom, asks the engine for a
+    single range scan ``lo <= code < hi`` over the encoded column
+    instead of a union with one term per sub-class/-property.
+
+    IdRanges appear only in *query* atoms evaluated against an
+    interval-encoded derived store; they are never dictionary-encoded
+    and never stored.  They participate in canonicalization and
+    ordering like any other term via ``(kind, value)``.
+    """
+
+    __slots__ = ("lo", "hi")
+    kind = 5
+
+    def __init__(self, lo: int, hi: int):
+        if not isinstance(lo, int) or not isinstance(hi, int):
+            raise TypeError("IdRange bounds must be integers")
+        if lo < 0 or hi <= lo:
+            raise ValueError(f"empty or negative id range [{lo}, {hi})")
+        super().__init__(f"{lo}:{hi}")
+        self.lo = lo
+        self.hi = hi
+
+    def __contains__(self, code: int) -> bool:
+        return self.lo <= code < self.hi
+
+    def __str__(self) -> str:
+        return f"[{self.lo}..{self.hi})"
+
+    def __repr__(self) -> str:
+        return f"IdRange({self.lo}, {self.hi})"
+
+
 #: Terms allowed in data triples (no variables).
 GroundTerm = Union[URI, Literal, BlankNode]
 

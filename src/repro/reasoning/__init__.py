@@ -1,6 +1,7 @@
 """RDF entailment: immediate rules, saturation, counting maintenance."""
 
 from .counting import CountingSaturator
+from .litemat import interval_encode_database
 from .rules import entail_from_triple, explain_entailment
 from .saturation import IncrementalSaturator, saturate, saturate_in_place
 
@@ -9,6 +10,7 @@ __all__ = [
     "IncrementalSaturator",
     "entail_from_triple",
     "explain_entailment",
+    "interval_encode_database",
     "saturate",
     "saturate_in_place",
 ]

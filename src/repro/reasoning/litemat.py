@@ -1,0 +1,85 @@
+"""Interval-encoded derived store construction (DESIGN.md §16).
+
+Builds, from a base :class:`~repro.storage.database.RDFDatabase`, the
+derived database the ``litemat`` strategy evaluates against:
+
+* a **fresh dictionary** seeded with the schema vocabulary in interval
+  order (classes first, then properties — see
+  :class:`repro.storage.interval_encoding.IntervalEncoding`), so the
+  dictionary codes of classes and properties *are* the interval codes;
+* every base fact re-encoded onto the new codes (a vectorized gather
+  through an old-code → new-code map);
+* the **domain/range ``rdf:type`` consequences** materialized, exactly
+  the middle loops of :func:`repro.reasoning.encoded.saturate_database`.
+
+That is all the saturation the interval scans cannot recover:
+subproperty copies are omitted (a predicate range scan over the
+subproperty interval finds the original fact rows) and subclass
+widening of explicit types is omitted (a subclass's code lies inside
+every superclass's interval).  Domain/range typing, however, creates
+*new* ``rdf:type`` rows from non-type facts, which no range placement
+can conjure — so those are stored.
+
+The base database is never touched: its dictionary and table keep
+serving concurrent readers of the previous encoding epoch
+(copy-on-write renumbering, the re-encoding race fix of
+``storage/dictionary.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..rdf.vocabulary import RDF_TYPE
+from ..storage.database import RDFDatabase
+from ..storage.interval_encoding import IntervalEncoding
+from ..storage.triple_table import TripleTable
+
+
+def interval_encode_database(
+    database: RDFDatabase, on_cycle: str = "collapse"
+) -> Tuple[IntervalEncoding, RDFDatabase]:
+    """Build ``(encoding, derived store)`` for one base database state."""
+    schema = database.schema
+    base_dictionary = database.dictionary
+    table = database.table
+    encoding = IntervalEncoding.from_schema(schema, on_cycle=on_cycle)
+
+    new_dictionary = base_dictionary.remapped(encoding.leading_terms)
+    type_code = new_dictionary.encode(RDF_TYPE)
+
+    # Old-code → new-code gather map for the bulk fact re-encode.
+    remap = np.empty(max(len(base_dictionary), 1), dtype=np.int64)
+    for old_code, term in base_dictionary.items():
+        remap[old_code] = new_dictionary.encode(term)
+
+    out = TripleTable(dictionary=new_dictionary, bits=table.bits)
+    rows = table.match((None, None, None))
+    if rows.shape[0]:
+        out.add_block(remap[rows])
+
+    # Domain/range typing per property, vectorized (the only saturation
+    # consequences interval scans cannot recover).
+    for prop in schema.properties:
+        base_code = base_dictionary.lookup(prop)
+        if base_code is None:
+            continue
+        prop_rows = table.match((None, base_code, None))
+        if prop_rows.shape[0] == 0:
+            continue
+        for cls in schema.domains(prop):
+            block = np.empty_like(prop_rows)
+            block[:, 0] = remap[prop_rows[:, 0]]
+            block[:, 1] = type_code
+            block[:, 2] = new_dictionary.encode(cls)
+            out.add_block(block)
+        for cls in schema.ranges(prop):
+            block = np.empty_like(prop_rows)
+            block[:, 0] = remap[prop_rows[:, 2]]
+            block[:, 1] = type_code
+            block[:, 2] = new_dictionary.encode(cls)
+            out.add_block(block)
+    out.freeze()
+    return encoding, RDFDatabase(schema=schema, table=out)

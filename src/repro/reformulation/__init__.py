@@ -22,6 +22,7 @@ from .jucq import (
     ucq_reformulation,
     ucq_reformulation_as_jucq,
 )
+from .litemat import IntervalReformulator, interval_reformulate
 from .reformulate import (
     ReformulationLimitExceeded,
     Reformulator,
@@ -32,8 +33,10 @@ from .reformulate import (
 __all__ = [
     "Cover",
     "Fragment",
+    "IntervalReformulator",
     "ReformulationLimitExceeded",
     "Reformulator",
+    "interval_reformulate",
     "connected_fragments",
     "count_covers",
     "cover_queries",

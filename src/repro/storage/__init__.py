@@ -3,11 +3,19 @@
 from .database import RDFDatabase
 from .persistence import load_database, save_database
 from .dictionary import Dictionary
+from .interval_encoding import (
+    CyclicHierarchyError,
+    IntervalAssigner,
+    IntervalEncoding,
+)
 from .statistics import TableStatistics
 from .triple_table import PERMUTATIONS, Pattern, TripleTable
 
 __all__ = [
+    "CyclicHierarchyError",
     "Dictionary",
+    "IntervalAssigner",
+    "IntervalEncoding",
     "PERMUTATIONS",
     "Pattern",
     "RDFDatabase",

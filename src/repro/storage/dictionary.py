@@ -6,12 +6,21 @@ with the dictionary indexed both ways (Section 5.1).  :class:`Dictionary`
 is that two-way map; codes are dense, starting at 0, so they double as
 array indices.
 
-Concurrency: lookups and decodes are read-only and lock-free (CPython
-dict/list reads are atomic), but code *allocation* is a check-then-act
-sequence — two worker threads encoding the same unseen term could both
-observe "absent" and hand out clashing codes.  :meth:`encode` therefore
-takes a lock on the miss path only; the hot path (term already known)
-stays a single dict read.
+Concurrency: all read paths (``lookup``/``decode``/``stats``/iteration)
+resolve against a single immutable-identity *snapshot* object grabbed in
+one attribute read, so a reader can never observe the forward map and
+the reverse map of two different states (the old layout kept them as two
+separate attributes, leaving a torn-read window between the maps during
+re-encoding).  Code *allocation* is a check-then-act sequence — two
+worker threads encoding the same unseen term could both observe "absent"
+and hand out clashing codes — so :meth:`encode` takes a lock on the miss
+path only; the hot path (term already known) stays a single dict read.
+
+Renumbering (the LiteMat interval assigner, DESIGN.md §16) never mutates
+codes in place: :meth:`remapped` builds a complete *new* dictionary and
+the caller publishes it by swapping whole-object references.  Concurrent
+readers holding codes from the old dictionary keep decoding against the
+old object, which is never touched.
 
 Per-kind counts (:meth:`stats`) are maintained incrementally at
 allocation time: the old implementation rescanned every stored term on
@@ -22,7 +31,7 @@ polling quadratic over the load.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..rdf.terms import BlankNode, Literal, Term, URI
 
@@ -38,37 +47,72 @@ def _kind_of(term: Term) -> str:
     return "other"
 
 
+class _Snapshot:
+    """One consistent state of the two-way map.
+
+    ``term_of[code] == term`` iff ``code_of[term] == code``; both maps
+    live on the same object so readers that grab the snapshot once can
+    never see them disagree.  Snapshots are grow-only: within one
+    snapshot a ``term_of`` entry is appended *before* the code is
+    published in ``code_of``, so any code a reader can obtain already
+    decodes.
+    """
+
+    __slots__ = ("code_of", "term_of", "kind_counts")
+
+    def __init__(
+        self,
+        code_of: Optional[Dict[Term, int]] = None,
+        term_of: Optional[List[Term]] = None,
+        kind_counts: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.code_of: Dict[Term, int] = code_of if code_of is not None else {}
+        self.term_of: List[Term] = term_of if term_of is not None else []
+        self.kind_counts: Dict[str, int] = (
+            kind_counts
+            if kind_counts is not None
+            else {"uris": 0, "literals": 0, "blank_nodes": 0}
+        )
+
+
 class Dictionary:
     """Two-way value ↔ integer-code map for ground RDF terms."""
 
     def __init__(self) -> None:
-        self._code_of: Dict[Term, int] = {}
-        self._term_of: List[Term] = []
+        self._snapshot = _Snapshot()
         self._lock = threading.Lock()
-        #: Incremental per-kind counts, updated on every allocation so
-        #: :meth:`stats` is O(1) instead of an O(n) rescan.
-        self._kind_counts: Dict[str, int] = {
-            "uris": 0,
-            "literals": 0,
-            "blank_nodes": 0,
-        }
+
+    @staticmethod
+    def _check_encodable(term: Term) -> None:
+        if term.is_variable:
+            raise TypeError(f"variables are not dictionary-encoded: {term}")
+        if not isinstance(term, (URI, Literal, BlankNode)):
+            raise TypeError(
+                f"only ground RDF terms are dictionary-encoded, "
+                f"got {type(term).__name__}: {term}"
+            )
 
     def encode(self, term: Term) -> int:
         """The code of ``term``, allocating a new one on first sight."""
-        if term.is_variable:
-            raise TypeError(f"variables are not dictionary-encoded: {term}")
-        code = self._code_of.get(term)
+        self._check_encodable(term)
+        snap = self._snapshot
+        code = snap.code_of.get(term)
         if code is None:
             with self._lock:
-                # Re-check under the lock: another thread may have
-                # allocated the code between the read and the acquire.
-                code = self._code_of.get(term)
+                # Re-read the snapshot under the lock: another thread may
+                # have allocated the code — or published a remapped
+                # snapshot — between the read and the acquire.
+                snap = self._snapshot
+                code = snap.code_of.get(term)
                 if code is None:
-                    code = len(self._term_of)
-                    self._term_of.append(term)
-                    self._code_of[term] = code
+                    code = len(snap.term_of)
+                    # Append to the reverse map before publishing the
+                    # code: a racing reader that obtains the code via
+                    # code_of can then always decode it.
+                    snap.term_of.append(term)
+                    snap.code_of[term] = code
                     kind = _kind_of(term)
-                    self._kind_counts[kind] = self._kind_counts.get(kind, 0) + 1
+                    snap.kind_counts[kind] = snap.kind_counts.get(kind, 0) + 1
         return code
 
     def encode_many(self, terms: Iterable[Term]) -> List[int]:
@@ -81,25 +125,48 @@ class Dictionary:
         Query translation uses this: a constant absent from the
         dictionary cannot match any stored triple.
         """
-        return self._code_of.get(term)
+        return self._snapshot.code_of.get(term)
 
     def decode(self, code: int) -> Term:
         """The term a code stands for."""
-        return self._term_of[code]
+        return self._snapshot.term_of[code]
+
+    def items(self) -> Iterator[Tuple[int, Term]]:
+        """Iterate ``(code, term)`` pairs of one consistent snapshot."""
+        snap = self._snapshot
+        return enumerate(list(snap.term_of))
+
+    def remapped(self, leading: Sequence[Term]) -> "Dictionary":
+        """A new dictionary assigning ``leading`` the codes ``0..len-1``.
+
+        Terms of this dictionary not in ``leading`` follow in their old
+        code order.  The receiver is left untouched, so concurrent
+        readers holding old codes keep decoding correctly against the
+        old object; the caller publishes the new dictionary by swapping
+        whole-object references (copy-on-write renumbering, the LiteMat
+        assigner's re-encode path).
+        """
+        new = Dictionary()
+        for term in leading:
+            new.encode(term)
+        for term in list(self._snapshot.term_of):
+            new.encode(term)
+        return new
 
     def __len__(self) -> int:
-        return len(self._term_of)
+        return len(self._snapshot.term_of)
 
     def __contains__(self, term: Term) -> bool:
-        return term in self._code_of
+        return term in self._snapshot.code_of
 
     def __repr__(self) -> str:
         return f"Dictionary({len(self)} values)"
 
     def stats(self) -> Dict[str, int]:
         """Counts per term kind, for reporting (O(1): no term rescan)."""
+        counts = self._snapshot.kind_counts
         return {
-            "uris": self._kind_counts.get("uris", 0),
-            "literals": self._kind_counts.get("literals", 0),
-            "blank_nodes": self._kind_counts.get("blank_nodes", 0),
+            "uris": counts.get("uris", 0),
+            "literals": counts.get("literals", 0),
+            "blank_nodes": counts.get("blank_nodes", 0),
         }

@@ -67,6 +67,23 @@ def index_for_pattern(pattern: Pattern) -> str:
     return _INDEX_FOR_BOUND[bound]
 
 
+#: Which permutation serves a (bound set, range position) pair: the
+#: bound positions must form the key prefix and the range position must
+#: come immediately after, so the code interval is one contiguous
+#: composite-key interval.  Every combination with the range position
+#: outside the bound set is served by at least one of the 6 indexes.
+_RANGE_INDEX = {}
+for _name, _order in PERMUTATIONS.items():
+    for _k in range(3):
+        _RANGE_INDEX.setdefault((frozenset(_order[:_k]), _order[_k]), _name)
+
+
+def index_for_range(pattern: Pattern, position: int) -> str:
+    """Name of the permutation index serving a range scan on ``position``."""
+    bound = frozenset(i for i, v in enumerate(pattern) if v is not None)
+    return _RANGE_INDEX[(bound, position)]
+
+
 class TripleTable:
     """Sorted-array triple store over a :class:`Dictionary`.
 
@@ -197,6 +214,24 @@ class TripleTable:
         rows = self.match(pattern)
         return rows[:, list(positions)]
 
+    def match_range_count(self, pattern: Pattern, position: int, lo: int, hi: int) -> int:
+        """Number of triples matching ``pattern`` with ``position``'s code in ``[lo, hi)``."""
+        row_lo, row_hi, _ = self._range_interval(pattern, position, lo, hi)
+        return row_hi - row_lo
+
+    def match_range(self, pattern: Pattern, position: int, lo: int, hi: int) -> np.ndarray:
+        """Triples matching ``pattern`` whose ``position`` code lies in ``[lo, hi)``.
+
+        ``pattern`` must leave ``position`` unbound; the scan runs on the
+        permutation whose key order puts the bound positions first and
+        ``position`` next, so the whole interval is one binary-searched
+        contiguous key range (the LiteMat range-scan primitive,
+        DESIGN.md §16).  Returns an ``(n, 3)`` array in (s, p, o) order.
+        """
+        row_lo, row_hi, name = self._range_interval(pattern, position, lo, hi)
+        keys = self._indexes[name][row_lo:row_hi]
+        return self._decode_keys(keys, name)
+
     def iter_matches(self, pattern: Pattern) -> Iterator[Tuple[int, int, int]]:
         """Iterate matches as plain tuples (used by tuple-at-a-time code)."""
         for row in self.match(pattern):
@@ -246,6 +281,33 @@ class TripleTable:
         lo = int(np.searchsorted(keys, lo_key, side="left"))
         hi = int(np.searchsorted(keys, hi_key, side="left"))
         return lo, hi, name
+
+    def _range_interval(
+        self, pattern: Pattern, position: int, lo: int, hi: int
+    ) -> Tuple[int, int, str]:
+        """Binary-search the composite range for a pattern plus code interval."""
+        self.freeze()
+        if pattern[position] is not None:
+            raise ValueError(f"range position {position} is bound in pattern {pattern}")
+        bound = frozenset(i for i, v in enumerate(pattern) if v is not None)
+        name = _RANGE_INDEX[(bound, position)]
+        order = PERMUTATIONS[name]
+        keys = self._indexes[name]
+        shifts = (2 * self.bits, self.bits, 0)
+        prefix = 0
+        for slot in range(len(bound)):
+            value = pattern[order[slot]]
+            prefix |= value << shifts[slot]
+        lo = max(lo, 0)
+        hi = min(hi, self._mask + 1)
+        if lo >= hi:
+            return 0, 0, name
+        shift = shifts[len(bound)]
+        lo_key = prefix | (lo << shift)
+        hi_key = prefix + (hi << shift)
+        row_lo = int(np.searchsorted(keys, lo_key, side="left"))
+        row_hi = int(np.searchsorted(keys, hi_key, side="left"))
+        return row_lo, row_hi, name
 
     def _column_from_keys(self, keys: np.ndarray, slot: int) -> np.ndarray:
         shift = (2 * self.bits, self.bits, 0)[slot]

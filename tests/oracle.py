@@ -29,7 +29,7 @@ from repro.storage import RDFDatabase
 
 #: Strategies a sweep exercises by default; ``saturation`` is the
 #: reformulation-free ground truth and must always succeed.
-DEFAULT_STRATEGIES = ("saturation", "ucq", "scq", "gcov")
+DEFAULT_STRATEGIES = ("saturation", "ucq", "scq", "gcov", "litemat")
 
 #: Reformulation term budget: queries whose UCQ grows past this are
 #: skipped for the strategies that would materialize it (the paper's

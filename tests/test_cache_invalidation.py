@@ -202,6 +202,99 @@ class TestDataMutations:
 
 
 # ----------------------------------------------------------------------
+# LiteMat interval plans must never survive a re-encode (DESIGN.md §16)
+# ----------------------------------------------------------------------
+class TestLitematInvalidation:
+    """The stale-range-scan regression suite.
+
+    An interval atom hard-codes dictionary codes of one interval
+    encoding.  Any mutation that re-encodes the derived store — every
+    schema-constraint add/retract, and (conservatively) every data
+    change — must drop the memoized interval plans: a stale ``[lo, hi)``
+    over a re-laid-out dictionary would silently scan the wrong codes.
+    """
+
+    def _publications_query(self):
+        x = Variable("x")
+        return BGPQuery([x], [Triple(x, RDF_TYPE, ex("Publication"))])
+
+    def test_schema_add_refreshes_interval_plans(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        query = self._publications_query()
+        before = _answers(answerer, query, strategy="litemat")
+        assert ex("doi1") in {row[0] for row in before}
+        # A new subclass widens Publication's interval; a stale range
+        # scan would miss the report instance entirely.
+        book_db.schema.add_subclass(ex("Report"), ex("Publication"))
+        book_db.load_facts([Triple(ex("r1"), RDF_TYPE, ex("Report"))])
+        after = _answers(answerer, query, strategy="litemat")
+        assert ex("r1") in {row[0] for row in after}
+        fresh = make_answerer(book_db)
+        assert after == _answers(fresh, query, strategy="litemat")
+        assert after == _answers(fresh, query, strategy="saturation")
+
+    def test_schema_retract_refreshes_interval_plans(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        query = self._publications_query()
+        assert ex("doi1") in {
+            row[0] for row in _answers(answerer, query, strategy="litemat")
+        }
+        book_db.schema.remove_subclass(ex("Book"), ex("Publication"))
+        after = _answers(answerer, query, strategy="litemat")
+        assert ex("doi1") not in {row[0] for row in after}
+        fresh = make_answerer(book_db)
+        assert after == _answers(fresh, query, strategy="saturation")
+
+    def test_schema_mutation_bumps_encoding_epoch_and_drops_memo(self, book_db):
+        answerer = make_answerer(book_db, cache=QueryCache())
+        query = self._publications_query()
+        _answers(answerer, query, strategy="litemat")
+        memo = answerer.interval_reformulator.cache
+        assert len(memo) > 0
+        epoch_before = answerer.interval_assigner.epoch
+        invalidations_before = memo.invalidations
+        book_db.schema.add_subclass(ex("Thesis"), ex("Publication"))
+        _answers(answerer, query, strategy="litemat")
+        assert answerer.interval_assigner.epoch > epoch_before
+        assert memo.invalidations > invalidations_before
+
+    def test_data_mutation_bumps_encoding_epoch(self, book_db):
+        """Data-only changes re-encode too (the derived store embeds the
+        facts), so the memo guard must move even though the schema
+        fingerprint — the old, insufficient key — is unchanged."""
+        answerer = make_answerer(book_db, cache=QueryCache())
+        query = self._publications_query()
+        _answers(answerer, query, strategy="litemat")
+        fingerprint = book_db.schema.fingerprint()
+        epoch_before = answerer.interval_assigner.epoch
+        book_db.load_facts([Triple(ex("doi4"), RDF_TYPE, ex("Book"))])
+        after = _answers(answerer, query, strategy="litemat")
+        assert book_db.schema.fingerprint() == fingerprint
+        assert answerer.interval_assigner.epoch > epoch_before
+        assert ex("doi4") in {row[0] for row in after}
+
+    def test_interval_memo_guard_includes_encoding_epoch(self, book_db):
+        """The memo key regression pinned directly: same schema
+        fingerprint, different encoding epoch ⇒ the memo must miss."""
+        from repro.storage import IntervalAssigner
+
+        answerer = make_answerer(book_db, cache=QueryCache())
+        query = self._publications_query()
+        _answers(answerer, query, strategy="litemat")
+        reformulator = answerer.interval_reformulator
+        encoding, _store, epoch = answerer.interval_assigner.current(book_db)
+        hits_before = reformulator.cache.hits
+        reformulator.reformulate(query, encoding, epoch)
+        assert reformulator.cache.hits == hits_before + 1
+        # A forced epoch move with an identical schema fingerprint must
+        # drop the entry — keying on the fingerprint alone is the bug.
+        runs_before = reformulator.runs
+        reformulator.reformulate(query, encoding, epoch + 1)
+        assert reformulator.runs == runs_before + 1
+        assert IntervalAssigner().epoch == 0
+
+
+# ----------------------------------------------------------------------
 # Statistics can never go stale (regression for the manual-invalidate bug)
 # ----------------------------------------------------------------------
 class TestStatisticsAutoInvalidation:

@@ -131,6 +131,82 @@ class TestTripleInterface:
         assert len(chain_schema) == 6
 
 
+class TestCyclicHierarchies:
+    """Cycle policy of the transitive closure (regression suite).
+
+    Cyclic ``rdfs:subClassOf``/``subPropertyOf`` declarations must
+    neither hang nor mis-order the closure: the members of a cycle are
+    mutually equivalent (each a sub- and super-class of every other,
+    and of itself), the rest of the hierarchy closes normally through
+    the cycle, and the equivalence groups are queryable.
+    """
+
+    @pytest.fixture()
+    def cyclic_schema(self):
+        """A ⊑ B ⊑ A (a 2-cycle), with D ⊑ A below and B ⊑ C above."""
+        schema = RDFSchema()
+        schema.add_subclass(u("A"), u("B"))
+        schema.add_subclass(u("B"), u("A"))
+        schema.add_subclass(u("D"), u("A"))
+        schema.add_subclass(u("B"), u("C"))
+        return schema
+
+    def test_two_cycle_members_are_equivalent(self, cyclic_schema):
+        assert u("B") in cyclic_schema.superclasses(u("A"))
+        assert u("A") in cyclic_schema.superclasses(u("B"))
+        assert u("A") in cyclic_schema.superclasses(u("A"))
+        assert cyclic_schema.subclasses(u("A")) == cyclic_schema.subclasses(u("B"))
+
+    def test_closure_passes_through_the_cycle(self, cyclic_schema):
+        # D reaches C through the A≡B group; C's (strict) subclasses
+        # include every member of the group and everything below it.
+        assert u("C") in cyclic_schema.superclasses(u("D"))
+        assert cyclic_schema.subclasses(u("C")) == {u("A"), u("B"), u("D")}
+
+    def test_equivalence_groups_are_exposed(self, cyclic_schema):
+        group = cyclic_schema.equivalent_classes(u("A"))
+        assert group == frozenset({u("A"), u("B")})
+        assert cyclic_schema.equivalent_classes(u("B")) == group
+        # Non-members get singleton groups.
+        assert cyclic_schema.equivalent_classes(u("C")) == frozenset({u("C")})
+        assert cyclic_schema.class_cycles() == (group,)
+
+    def test_self_loop_is_a_cycle(self):
+        schema = RDFSchema()
+        schema.add_subclass(u("X"), u("X"))
+        assert schema.class_cycles() == (frozenset({u("X")}),)
+        assert u("X") in schema.subclasses(u("X"))
+
+    def test_property_cycles(self):
+        schema = RDFSchema()
+        schema.add_subproperty(u("p"), u("q"))
+        schema.add_subproperty(u("q"), u("p"))
+        schema.add_subproperty(u("r"), u("p"))
+        assert u("p") in schema.superproperties(u("q"))
+        assert u("q") in schema.superproperties(u("p"))
+        assert schema.property_cycles() == (frozenset({u("p"), u("q")}),)
+        assert schema.equivalent_properties(u("p")) == frozenset({u("p"), u("q")})
+        assert u("r") in schema.subproperties(u("q"))
+
+    def test_long_cycle_terminates_with_correct_closure(self):
+        """A 50-member ring plus a tail; the old strict-order closure
+        contract could not express this (the regression this pins)."""
+        schema = RDFSchema()
+        n = 50
+        for i in range(n):
+            schema.add_subclass(u(f"R{i}"), u(f"R{(i + 1) % n}"))
+        schema.add_subclass(u("tail"), u("R0"))
+        ring = {u(f"R{i}") for i in range(n)}
+        assert schema.class_cycles() == (frozenset(ring),)
+        assert schema.superclasses(u("tail")) == ring
+        assert schema.subclasses(u("R17")) == ring | {u("tail")}
+
+    def test_acyclic_schema_reports_no_cycles(self, chain_schema):
+        assert chain_schema.class_cycles() == ()
+        assert chain_schema.property_cycles() == ()
+        assert chain_schema.equivalent_classes(u("A")) == frozenset({u("A")})
+
+
 class TestSplitGraph:
     def test_split(self):
         triples = [
